@@ -1,0 +1,106 @@
+"""Ablation A1 — HT-tree design choices (section 5.2).
+
+Two sweeps over the DESIGN.md-called-out choices:
+
+* **Cache maintenance** — version-tolerated staleness (tombstone detect)
+  versus eager notify0 invalidation, under a mixed reader/writer workload
+  with splits.
+* **Split threshold** — max chain length before a table splits: smaller
+  thresholds buy shorter chains (fewer far accesses per lookup) at the
+  cost of more splits and more leaves (bigger client caches).
+"""
+
+from __future__ import annotations
+
+from repro.workloads import Uniform
+
+from helpers import build_cluster, print_table, record, run_once
+
+ITEMS = 2_000
+LOOKUPS = 600
+
+
+def _cache_mode_run(mode):
+    cluster = build_cluster()
+    tree = cluster.ht_tree(bucket_count=64, max_chain=4, cache_mode=mode)
+    writer = cluster.client()
+    reader = cluster.client()
+    keys = Uniform(1 << 40, seed=31).sample_unique(ITEMS)
+    # Interleave: reader looks up while the writer grows the map through
+    # splits, so reader caches keep going stale.
+    tree.put(writer, int(keys[0]), 0)
+    tree.get(reader, int(keys[0]))
+    reader_snapshot = reader.metrics.snapshot()
+    for i, key in enumerate(keys[1:], start=1):
+        tree.put(writer, int(key), i)
+        if i % 4 == 0:
+            probe = keys[int(i * 7919) % i]
+            assert tree.get(reader, int(probe)) is not None
+    reader_delta = reader.metrics.delta(reader_snapshot)
+    lookups = sum(1 for i in range(1, ITEMS) if i % 4 == 0)
+    return (
+        mode,
+        reader_delta.far_accesses / lookups,
+        tree.stats.stale_refreshes,
+        reader_delta.notifications_received,
+        tree.stats.splits,
+    )
+
+
+def _split_threshold_run(max_chain):
+    cluster = build_cluster()
+    tree = cluster.ht_tree(bucket_count=64, max_chain=max_chain)
+    client = cluster.client()
+    keys = Uniform(1 << 40, seed=32).sample_unique(ITEMS)
+    for i, key in enumerate(keys):
+        tree.put(client, int(key), i)
+    picks = keys[Uniform(ITEMS, seed=33).sample(LOOKUPS)]
+    snapshot = client.metrics.snapshot()
+    for key in picks:
+        tree.get(client, int(key))
+    delta = client.metrics.delta(snapshot)
+    return (
+        max_chain,
+        delta.far_accesses / LOOKUPS,
+        tree.stats.splits,
+        tree.leaf_count(),
+        tree.cache_bytes(client),
+    )
+
+
+def _scenario():
+    modes = [_cache_mode_run(mode) for mode in ("version", "notify")]
+    thresholds = [_split_threshold_run(t) for t in (2, 4, 8, 16, 64)]
+    return modes, thresholds
+
+
+def test_a1_httree_ablation(benchmark):
+    modes, thresholds = run_once(benchmark, _scenario)
+    print_table(
+        "A1a: cache maintenance under concurrent splits",
+        ["mode", "far/lookup", "stale refreshes", "notifications", "splits"],
+        modes,
+    )
+    print_table(
+        "A1b: split threshold (max chain) sweep",
+        ["max_chain", "far/lookup", "splits", "leaves", "cache bytes"],
+        thresholds,
+    )
+    version_row, notify_row = modes
+    record(
+        benchmark,
+        {
+            "version_far_per_lookup": version_row[1],
+            "notify_far_per_lookup": notify_row[1],
+        },
+    )
+    # Both modes stay near the 1-access fast path despite churn.
+    assert version_row[1] < 2.5 and notify_row[1] < 2.5
+    # Notify mode trades notification traffic for fewer wasted accesses.
+    assert notify_row[3] > 0
+    # Smaller split thresholds: fewer far accesses, more leaves/cache.
+    far = [row[1] for row in thresholds]
+    leaves = [row[3] for row in thresholds]
+    assert far[0] <= far[-1]
+    assert leaves[0] >= leaves[-1]
+    assert thresholds[-1][2] <= thresholds[0][2]  # fewer splits when lax

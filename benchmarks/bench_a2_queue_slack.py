@@ -1,0 +1,108 @@
+"""Ablation A2 — queue slack and clearing batch sizing (section 5.3).
+
+Two sweeps over the DESIGN.md concretization knobs:
+
+* **Clear batch** — slots are reset to EMPTY in batches of B; dequeue cost
+  is 1 + 1/B far accesses, so B sweeps the amortisation curve.
+* **Slack size** — the paper prescribes n+1 slack slots for n clients.
+  We drive n interleaved clients through many wrap-arounds at several
+  slack sizes and report whether the pointer-escape invariant ever fires
+  (undersized slack) and the slow-path rate.
+"""
+
+from __future__ import annotations
+
+from repro.core.queue import FarQueue
+from repro.fabric.errors import FabricError, QueueEmpty
+
+from helpers import build_cluster, print_table, record, run_once
+
+OPS = 1_500
+
+
+def _clear_batch_run(batch, use_fsaai=False):
+    cluster = build_cluster()
+    queue = cluster.far_queue(
+        capacity=128, max_clients=2, clear_batch=batch, use_fsaai=use_fsaai
+    )
+    producer, consumer = cluster.client(), cluster.client()
+    queue.enqueue(producer, 1)
+    queue.dequeue(consumer)
+    snapshot = consumer.metrics.snapshot()
+    for i in range(OPS):
+        queue.enqueue(producer, i + 1)
+        queue.dequeue(consumer)
+    per_dequeue = consumer.metrics.delta(snapshot).far_accesses / OPS
+    model = 1.0 if use_fsaai else 1 + 1 / batch
+    label = "fsaai (extension)" if use_fsaai else batch
+    return label, per_dequeue, model
+
+
+def _slack_run(slack_slots, clients_count=4):
+    cluster = build_cluster()
+    queue = FarQueue.create(
+        cluster.allocator,
+        capacity=32,
+        max_clients=clients_count,
+        slack_slots=slack_slots,
+    )
+    clients = [cluster.client() for _ in range(clients_count)]
+    escaped = False
+    completed = 0
+    try:
+        for i in range(OPS):
+            producer = clients[i % clients_count]
+            consumer = clients[(i + 1) % clients_count]
+            queue.enqueue(producer, i + 1)
+            try:
+                queue.dequeue(consumer)
+            except QueueEmpty:
+                pass
+            completed += 1
+    except FabricError:
+        escaped = True
+    wraps = queue.stats.enqueue_wraps + queue.stats.dequeue_wraps
+    return (
+        slack_slots,
+        completed,
+        wraps,
+        queue.stats.fast_path_fraction(),
+        "ESCAPED" if escaped else "ok",
+    )
+
+
+def _scenario():
+    batches = [_clear_batch_run(b) for b in (1, 2, 4, 8, 16, 64)]
+    batches.append(_clear_batch_run(1, use_fsaai=True))
+    slacks = [_slack_run(s) for s in (1, 3, 5, 9)]
+    return batches, slacks
+
+
+def test_a2_queue_slack(benchmark):
+    batches, slacks = run_once(benchmark, _scenario)
+    print_table(
+        "A2a: dequeue far accesses — Fig.1 deferred clears (model 1 + 1/B) "
+        "vs the fsaai extension",
+        ["clear batch", "measured far/dequeue", "model"],
+        batches,
+    )
+    print_table(
+        "A2b: slack sizing with 4 interleaved clients (paper: n+1 = 5)",
+        ["slack slots", "ops completed", "wraps", "fast-path frac", "invariant"],
+        slacks,
+    )
+    record(benchmark, {"far_per_dequeue_b16": batches[4][1]})
+    # The amortisation model holds within a small tolerance (wrap-around
+    # repairs and head refreshes add a little on top of 1 + 1/B).
+    for batch, measured, model in batches:
+        assert abs(measured - model) < 0.1
+    # The fsaai extension hits exactly one far access per dequeue with no
+    # deferred-clear hazard — the reproduction finding of EXPERIMENTS.md.
+    fsaai_row = batches[-1]
+    assert fsaai_row[1] <= 1.05
+    # The paper's n+1 sizing (and anything larger) survives; the fast path
+    # dominates at every size that survives.
+    by_slack = {row[0]: row for row in slacks}
+    assert by_slack[5][4] == "ok"
+    assert by_slack[9][4] == "ok"
+    assert all(row[3] > 0.85 for row in slacks if row[4] == "ok")

@@ -1,0 +1,112 @@
+"""Ablation A3 — synchronization primitive cost table (section 5.1).
+
+For every far-memory synchronization structure in the library: far
+accesses per uncontended operation, and the cost of *waiting* under
+notifications versus polling (the section 5.1 argument for ``notifye``).
+"""
+
+from __future__ import annotations
+
+from helpers import build_cluster, print_table, record, run_once
+
+WAIT_PROBES = 50
+
+
+def _cost(client, fn):
+    snapshot = client.metrics.snapshot()
+    fn()
+    return client.metrics.delta(snapshot).far_accesses
+
+
+def _scenario():
+    cluster = build_cluster()
+    rows = []
+
+    # Mutex
+    mutex = cluster.far_mutex()
+    c = cluster.client()
+    rows.append(("mutex acquire (CAS)", _cost(c, lambda: mutex.try_acquire(c))))
+    rows.append(("mutex release", _cost(c, lambda: mutex.release(c))))
+
+    # RW lock
+    rwlock = cluster.far_rwlock()
+    rows.append(("rwlock read acquire (FAA)", _cost(c, lambda: rwlock.try_acquire_read(c))))
+    rows.append(("rwlock read release", _cost(c, lambda: rwlock.release_read(c))))
+    rows.append(("rwlock write acquire (CAS)", _cost(c, lambda: rwlock.try_acquire_write(c))))
+    rows.append(("rwlock write release", _cost(c, lambda: rwlock.release_write(c))))
+
+    # Semaphore
+    semaphore = cluster.far_semaphore(4)
+    rows.append(("semaphore acquire (FAA)", _cost(c, lambda: semaphore.try_acquire(c))))
+    rows.append(("semaphore release", _cost(c, lambda: semaphore.release(c))))
+
+    # Barrier (non-last and last arrival)
+    barrier = cluster.far_barrier(2)
+    c2 = cluster.client()
+    rows.append(
+        ("barrier arrive (+subscription)", _cost(c, lambda: barrier.arrive(c)))
+    )
+    rows.append(("barrier last arrive", _cost(c2, lambda: barrier.arrive(c2))))
+
+    # Counter, for scale
+    counter = cluster.far_counter()
+    rows.append(("counter add (FAA)", _cost(c, lambda: counter.add(c, 1))))
+
+    # Waiting: notifye vs far polling for a mutex handoff.
+    holder, waiter_poll, waiter_notify = (
+        cluster.client(),
+        cluster.client(),
+        cluster.client(),
+    )
+    handoff = cluster.far_mutex()
+    handoff.try_acquire(holder)
+
+    poll_snapshot = waiter_poll.metrics.snapshot()
+    for _ in range(WAIT_PROBES):  # spin on far memory while blocked
+        handoff.holder(waiter_poll)
+    handoff.release(holder)
+    handoff.try_acquire(waiter_poll)
+    poll_cost = waiter_poll.metrics.delta(poll_snapshot).far_accesses
+
+    handoff.release(waiter_poll)
+    handoff.try_acquire(holder)
+    notify_snapshot = waiter_notify.metrics.snapshot()
+    sub = handoff.acquire_or_wait(waiter_notify)
+    for _ in range(WAIT_PROBES):  # blocked: drains the inbox, no far ops
+        waiter_notify.poll_notifications()
+    handoff.release(holder)
+    waiter_notify.poll_notifications()
+    handoff.retry_on_free(waiter_notify, sub)
+    notify_cost = waiter_notify.metrics.delta(notify_snapshot).far_accesses
+
+    wait_rows = [
+        (f"polling waiter ({WAIT_PROBES} probes)", poll_cost),
+        ("notifye waiter (install + retry)", notify_cost),
+    ]
+    return rows, wait_rows
+
+
+def test_a3_sync_primitives(benchmark):
+    rows, wait_rows = run_once(benchmark, _scenario)
+    print_table(
+        "A3: far accesses per uncontended synchronization operation",
+        ["operation", "far accesses"],
+        rows,
+    )
+    print_table(
+        "A3b: blocked-waiter cost, polling vs notifye",
+        ["strategy", "far accesses"],
+        wait_rows,
+    )
+    record(benchmark, {name: cost for name, cost in rows})
+    # Every fast-path transition is a single far access except the
+    # mutex/barrier subscription installs (explicitly two).
+    by_name = dict(rows)
+    assert by_name["mutex acquire (CAS)"] == 1
+    assert by_name["rwlock read acquire (FAA)"] == 1
+    assert by_name["semaphore acquire (FAA)"] == 1
+    assert by_name["counter add (FAA)"] == 1
+    assert by_name["barrier last arrive"] == 1
+    assert by_name["barrier arrive (+subscription)"] == 2
+    # Waiting via notifications beats polling by ~an order of magnitude.
+    assert wait_rows[1][1] * 10 <= wait_rows[0][1]

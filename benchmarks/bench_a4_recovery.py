@@ -1,0 +1,134 @@
+"""Ablation A4 — the price of crash recovery (section 2's fault domains).
+
+Three sweeps:
+
+* **Lease overhead** — healthy-path cost of the crash-recoverable mutex
+  versus the plain section 5.1 mutex, across heartbeat frequencies.
+* **Takeover latency** — epochs until a dead holder's lock is recoverable,
+  as a function of the lease TTL (the availability/false-takeover dial).
+* **Scrub cost** — far accesses for a full queue scrub versus queue
+  capacity (the recovery tax scales with structure size, not with the
+  number of operations lost).
+"""
+
+from __future__ import annotations
+
+from repro.recovery import LeasedFarMutex, QueueScrubber
+
+from helpers import build_cluster, print_table, record, run_once
+
+LOCK_ROUNDS = 200
+
+
+def _lease_overhead():
+    rows = []
+    cluster = build_cluster()
+    plain = cluster.far_mutex()
+    c = cluster.client()
+    snapshot = c.metrics.snapshot()
+    for _ in range(LOCK_ROUNDS):
+        plain.try_acquire(c)
+        plain.release(c)
+    plain_cost = c.metrics.delta(snapshot).far_accesses / LOCK_ROUNDS
+    rows.append(("plain mutex (no crash safety)", plain_cost, "-"))
+
+    for renew_every in (1, 4, 16):
+        cluster = build_cluster()
+        lease = LeasedFarMutex.create(cluster.allocator, ttl_epochs=2)
+        c = cluster.client()
+        snapshot = c.metrics.snapshot()
+        for i in range(LOCK_ROUNDS):
+            lease.try_acquire(c)
+            if i % renew_every == 0:
+                lease.renew(c)
+            lease.release(c)
+        cost = c.metrics.delta(snapshot).far_accesses / LOCK_ROUNDS
+        rows.append((f"leased mutex, renew every {renew_every}", cost,
+                     f"{cost / plain_cost:.1f}x"))
+    return rows, plain_cost
+
+
+def _takeover_latency():
+    rows = []
+    for ttl in (1, 2, 4, 8):
+        cluster = build_cluster()
+        lease = LeasedFarMutex.create(cluster.allocator, ttl_epochs=ttl)
+        holder, survivor = cluster.client(), cluster.client()
+        lease.try_acquire(holder)
+        holder.crash()
+        epochs = 0
+        while not lease.try_acquire(survivor):
+            lease.tick(survivor)
+            epochs += 1
+            assert epochs < 100
+        rows.append((ttl, epochs))
+    return rows
+
+
+def _scrub_cost():
+    rows = []
+    for capacity in (32, 128, 512):
+        cluster = build_cluster()
+        # Fig.1-only mode with a large clear batch: the victim's consumed
+        # slots stay un-cleared — exactly the residue a crash strands
+        # (the default fsaai mode leaves nothing behind to scrub).
+        queue = cluster.far_queue(
+            capacity=capacity, max_clients=4, clear_batch=64, use_fsaai=False
+        )
+        producer, victim = cluster.client(), cluster.client()
+        for i in range(16):
+            queue.enqueue(producer, i + 1)
+        for _ in range(8):
+            queue.dequeue(victim)
+        victim.crash()  # 8 uncleared consumed slots stranded
+        scrubber = QueueScrubber(queue)
+        healer = cluster.client()
+        snapshot = healer.metrics.snapshot()
+        report = scrubber.recover_crashed_client(victim.client_id, healer)
+        cost = healer.metrics.delta(snapshot).far_accesses
+        rows.append((capacity, cost, report.orphans_reenqueued))
+    return rows
+
+
+def _scenario():
+    return _lease_overhead(), _takeover_latency(), _scrub_cost()
+
+
+def test_a4_recovery_costs(benchmark):
+    (lease_rows, plain_cost), takeover_rows, scrub_rows = run_once(
+        benchmark, _scenario
+    )
+    print_table(
+        "A4a: lock far accesses per acquire/release round",
+        ["design", "far/round", "vs plain"],
+        lease_rows,
+    )
+    print_table(
+        "A4b: epochs until a dead holder's lock is recovered",
+        ["lease TTL (epochs)", "epochs to takeover"],
+        takeover_rows,
+    )
+    print_table(
+        "A4c: queue scrub cost after a consumer crash (8 slots stranded)",
+        ["queue capacity", "scrub far accesses", "items redelivered"],
+        scrub_rows,
+    )
+    record(
+        benchmark,
+        {
+            "plain_lock_cost": plain_cost,
+            "takeover_ttl2": takeover_rows[1][1],
+            "scrub_cost_512": scrub_rows[-1][1],
+        },
+    )
+    # Crash safety costs a constant factor on the healthy path...
+    assert lease_rows[1][1] <= plain_cost * 4
+    # ...takeover latency tracks the TTL (availability dial)...
+    ttls = [row[0] for row in takeover_rows]
+    epochs = [row[1] for row in takeover_rows]
+    assert epochs == sorted(epochs)
+    assert all(e >= t for t, e in zip(ttls, epochs))
+    # ...and scrub cost scales with capacity but stays a handful of bulk
+    # reads, not per-item round trips.
+    assert scrub_rows[-1][1] < 512 / 4
+    assert all(row[2] == 8 for row in scrub_rows)

@@ -1,0 +1,116 @@
+"""Experiment E2 — the one-sided vs RPC crossover (sections 1, 3.1).
+
+The paper's core performance argument: an RPC map answers any lookup in
+one round trip but serialises on the memory-side CPU, while one-sided
+structures spend r far accesses per lookup but scale with clients. We
+sweep (a) the per-op far-access count r and (b) the client count, and
+report simulated throughput for each design:
+
+* RPC map (service_ns = 700)
+* traditional one-sided chained hash table (r ≈ 2-3)
+* HT-tree (r ≈ 1)
+
+Expected shape (the paper's claim): traditional one-sided loses to RPC at
+low client counts (more round trips per op); the HT-tree matches RPC's
+round trips and overtakes RPC once the server CPU saturates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import OneSidedHashMap
+from repro.rpc import RpcMap, RpcServer
+from repro.workloads import Uniform
+
+from helpers import build_cluster, print_table, record, run_once
+
+ITEMS = 2_000
+OPS_PER_CLIENT = 300
+CLIENT_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _throughput_mops(clients, total_ops):
+    makespan_ns = max(c.clock.now_ns for c in clients)
+    return total_ops / makespan_ns * 1e3  # Mops/s in simulated time
+
+
+def _run_rpc(client_count, keys):
+    cluster = build_cluster()
+    server = RpcServer(service_ns=700)
+    rpc_map = RpcMap(server)
+    for key in keys:
+        rpc_map._data[int(key)] = 1
+    clients = [cluster.client() for _ in range(client_count)]
+    lookups = Uniform(ITEMS, seed=9).sample(OPS_PER_CLIENT * client_count)
+    for i, rank in enumerate(lookups):
+        rpc_map.get(clients[i % client_count], int(keys[rank]))
+    return _throughput_mops(clients, len(lookups))
+
+
+def _run_onesided_hash(client_count, keys):
+    cluster = build_cluster()
+    table = OneSidedHashMap.create(cluster.allocator, bucket_count=ITEMS // 4)
+    loader = cluster.client()
+    for key in keys:
+        table.put(loader, int(key), 1)
+    clients = [cluster.client() for _ in range(client_count)]
+    lookups = Uniform(ITEMS, seed=9).sample(OPS_PER_CLIENT * client_count)
+    for i, rank in enumerate(lookups):
+        table.get(clients[i % client_count], int(keys[rank]))
+    far = sum(c.metrics.far_accesses for c in clients)
+    return _throughput_mops(clients, len(lookups)), far / len(lookups)
+
+
+def _run_ht_tree(client_count, keys):
+    cluster = build_cluster()
+    tree = cluster.ht_tree(bucket_count=8192, max_chain=8)
+    loader = cluster.client()
+    for key in keys:
+        tree.put(loader, int(key), 1)
+    clients = [cluster.client() for _ in range(client_count)]
+    for c in clients:
+        tree.get(c, int(keys[0]))  # warm tree caches
+        c.metrics.reset()
+        c.clock.reset()
+    lookups = Uniform(ITEMS, seed=9).sample(OPS_PER_CLIENT * client_count)
+    for i, rank in enumerate(lookups):
+        tree.get(clients[i % client_count], int(keys[rank]))
+    far = sum(c.metrics.far_accesses for c in clients)
+    return _throughput_mops(clients, len(lookups)), far / len(lookups)
+
+
+def _scenario():
+    keys = Uniform(1 << 40, seed=1).sample_unique(ITEMS)
+    rows = []
+    crossover = None
+    for n in CLIENT_COUNTS:
+        rpc = _run_rpc(n, keys)
+        hash_tp, hash_far = _run_onesided_hash(n, keys)
+        tree_tp, tree_far = _run_ht_tree(n, keys)
+        if crossover is None and tree_tp > rpc:
+            crossover = n
+        rows.append((n, rpc, hash_tp, tree_tp, hash_far, tree_far))
+    return rows, crossover
+
+
+def test_e2_crossover(benchmark):
+    rows, crossover = run_once(benchmark, _scenario)
+    print_table(
+        "E2: lookup throughput (simulated Mops/s) vs client count",
+        ["clients", "rpc", "onesided-hash", "ht-tree", "hash far/op", "tree far/op"],
+        rows,
+    )
+    print(f"ht-tree overtakes rpc at {crossover} clients")
+    record(
+        benchmark,
+        {
+            "crossover_clients": crossover,
+            "tree_far_per_op": rows[-1][5],
+            "hash_far_per_op": rows[-1][4],
+        },
+    )
+    # Shape assertions (who wins, where):
+    single = rows[0]
+    assert single[1] > single[2], "RPC must beat the traditional strawman at 1 client"
+    assert rows[-1][3] > rows[-1][1], "HT-tree must win once the server saturates"
+    assert rows[-1][5] < 1.2, "HT-tree must stay near one far access per op"
+    assert rows[-1][4] >= 2.0, "the strawman pays >= 2 far accesses per op"

@@ -1,0 +1,60 @@
+"""Experiment E3 — the latency hierarchy (section 3.1).
+
+"Far accesses dominate the overall cost, as they are an order of magnitude
+slower (O(1 us)) than local accesses (O(100 ns))."
+
+We measure simulated time per operation class and show that a data
+structure's cost is predicted almost entirely by its far-access count —
+the justification for far accesses as *the* performance metric.
+"""
+
+from __future__ import annotations
+
+from helpers import build_cluster, print_table, record, run_once
+
+OPS = 1_000
+
+
+def _scenario():
+    cluster = build_cluster()
+    client = cluster.client()
+    addr = cluster.allocator.alloc_words(64)
+    model = cluster.fabric.cost_model
+
+    rows = []
+
+    def timed(name, fn, count=OPS):
+        start = client.clock.now_ns
+        for _ in range(count):
+            fn()
+        per_op = (client.clock.now_ns - start) / count
+        rows.append((name, per_op, per_op / model.near_ns))
+        return per_op
+
+    near = timed("near access (cache touch)", lambda: client.touch_local())
+    far_read = timed("far read (8B)", lambda: client.read_u64(addr))
+    timed("far atomic (FAA)", lambda: client.faa(addr, 1))
+    far_1kb = timed("far read (1 KiB)", lambda: client.read(addr, 512), count=200)
+    batched_start = client.clock.now_ns
+    for _ in range(100):
+        with client.batch():
+            for i in range(8):
+                client.read_u64(addr + i * 8)
+    batched = (client.clock.now_ns - batched_start) / 800
+    rows.append(("far read, 8-deep batch (per op)", batched, batched / model.near_ns))
+
+    return rows, near, far_read
+
+
+def test_e3_latency_hierarchy(benchmark):
+    rows, near, far = run_once(benchmark, _scenario)
+    print_table(
+        "E3: simulated cost per operation class",
+        ["operation", "ns/op", "x near"],
+        rows,
+    )
+    record(benchmark, {"near_ns": near, "far_ns": far, "ratio": far / near})
+    # Section 3.1's order-of-magnitude gap.
+    assert far >= 10 * near
+    # Batching hides latency but each op is still a far access.
+    assert rows[-1][1] < far

@@ -1,0 +1,147 @@
+"""Experiment E5 — the far queue (section 5.3).
+
+Measures: far accesses per enqueue/dequeue across producer/consumer
+counts (the fast-path claim), fast-path fraction including wrap-arounds,
+and the comparison against (a) a mutex-protected far queue built without
+the faai/saai primitives and (b) the RPC queue.
+"""
+
+from __future__ import annotations
+
+from repro.core.mutex import FarMutex
+from repro.fabric.errors import QueueEmpty
+from repro.fabric.wire import WORD
+from repro.rpc import RpcQueue, RpcServer
+
+from helpers import build_cluster, print_table, record, run_once
+
+OPS = 2_000
+
+
+class MutexFarQueue:
+    """The section 5.3 strawman: a far queue guarded by a far mutex.
+
+    Enqueue = lock CAS + tail read + slot write + tail write + unlock
+    (5 far accesses); dequeue likewise. Built only for this benchmark.
+    """
+
+    def __init__(self, cluster, capacity):
+        self.capacity = capacity
+        base = cluster.allocator.alloc((capacity + 2) * WORD)
+        self.head = base
+        self.tail = base + WORD
+        self.slots = base + 2 * WORD
+        fabric = cluster.allocator.fabric
+        fabric.write_word(self.head, 0)
+        fabric.write_word(self.tail, 0)
+        self.mutex = FarMutex.create(cluster.allocator, cluster.notifications)
+
+    def _locked(self, client, fn):
+        while not self.mutex.try_acquire(client):
+            pass
+        try:
+            return fn()
+        finally:
+            self.mutex.release(client)
+
+    def enqueue(self, client, value):
+        def body():
+            tail = client.read_u64(self.tail)
+            client.write_u64(self.slots + (tail % self.capacity) * WORD, value)
+            client.write_u64(self.tail, tail + 1)
+
+        self._locked(client, body)
+
+    def dequeue(self, client):
+        def body():
+            head = client.read_u64(self.head)
+            value = client.read_u64(self.slots + (head % self.capacity) * WORD)
+            client.write_u64(self.head, head + 1)
+            return value
+
+        return self._locked(client, body)
+
+
+def _run_far_queue(producers, consumers, capacity=256):
+    cluster = build_cluster()
+    queue = cluster.far_queue(capacity=capacity, max_clients=producers + consumers)
+    prod = [cluster.client() for _ in range(producers)]
+    cons = [cluster.client() for _ in range(consumers)]
+    done = 0
+    i = 0
+    while done < OPS:
+        queue.enqueue(prod[i % producers], i + 1)
+        try:
+            queue.dequeue(cons[i % consumers])
+            done += 1
+        except QueueEmpty:
+            pass
+        i += 1
+    for c in cons:
+        queue.flush_clears(c)
+    total_far = sum(c.metrics.far_accesses for c in prod + cons)
+    return total_far / (2 * done), queue.stats.fast_path_fraction(), queue.stats
+
+
+def _run_mutex_queue():
+    cluster = build_cluster()
+    queue = MutexFarQueue(cluster, capacity=256)
+    producer, consumer = cluster.client(), cluster.client()
+    for i in range(OPS):
+        queue.enqueue(producer, i + 1)
+        queue.dequeue(consumer)
+    total_far = producer.metrics.far_accesses + consumer.metrics.far_accesses
+    return total_far / (2 * OPS)
+
+
+def _run_rpc_queue():
+    cluster = build_cluster()
+    server = RpcServer(service_ns=700)
+    queue = RpcQueue(server)
+    producer, consumer = cluster.client(), cluster.client()
+    for i in range(OPS):
+        queue.enqueue(producer, i)
+        queue.dequeue(consumer)
+    rpcs = producer.metrics.rpcs + consumer.metrics.rpcs
+    return rpcs / (2 * OPS)
+
+
+def _scenario():
+    rows = []
+    for producers, consumers in ((1, 1), (2, 2), (4, 4)):
+        per_op, fast, stats = _run_far_queue(producers, consumers)
+        rows.append(
+            (
+                f"far queue {producers}p/{consumers}c",
+                per_op,
+                fast,
+                stats.enqueue_wraps + stats.dequeue_wraps,
+            )
+        )
+    far_per_op = rows[0][1]
+    mutex_per_op = _run_mutex_queue()
+    rpc_per_op = _run_rpc_queue()
+    rows.append(("mutex far queue 1p/1c", mutex_per_op, 0.0, 0))
+    rows.append(("rpc queue 1p/1c (round trips)", rpc_per_op, 1.0, 0))
+    return rows, far_per_op, mutex_per_op, rpc_per_op
+
+
+def test_e5_queue(benchmark):
+    rows, far_per_op, mutex_per_op, rpc_per_op = run_once(benchmark, _scenario)
+    print_table(
+        f"E5: queue cost per operation ({OPS} op pairs)",
+        ["design", "far-or-rpc/op", "fast-path frac", "wraps"],
+        rows,
+    )
+    record(
+        benchmark,
+        {
+            "far_queue_per_op": far_per_op,
+            "mutex_queue_per_op": mutex_per_op,
+            "rpc_round_trips_per_op": rpc_per_op,
+        },
+    )
+    assert far_per_op < 1.25, "amortised ~1 far access per op (section 5.3)"
+    assert mutex_per_op >= 4.5, "the lock-based design pays ~5x"
+    assert abs(rpc_per_op - 1.0) < 0.01
+    assert all(r[2] > 0.9 for r in rows[:3]), "fast path dominates at all scales"

@@ -1,0 +1,102 @@
+"""Experiment E6 — refreshable vectors (section 5.4).
+
+Measures refresh cost against (a) naively re-reading the whole vector and
+(b) a per-element far read, as the fraction of changed entries varies;
+then shows the dynamic policy shifting to notifications as the update
+rate decays (the paper's converging-iterative-algorithm scenario).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers import build_cluster, print_table, record, run_once
+
+LENGTH = 4_096
+GROUP = 64
+
+
+def _refresh_cost(change_fraction):
+    cluster = build_cluster()
+    vector = cluster.refreshable_vector(LENGTH, group_size=GROUP)
+    writer, reader = cluster.client(), cluster.client()
+    vector.refresh(reader)
+    rng = np.random.default_rng(42)
+    changed = rng.choice(LENGTH, size=max(1, int(LENGTH * change_fraction)), replace=False)
+    vector.set_many(writer, {int(i): int(i) + 1 for i in changed})
+
+    snapshot = reader.metrics.snapshot()
+    report = vector.refresh(reader)
+    delta = reader.metrics.delta(snapshot)
+
+    # Naive full re-read for comparison.
+    naive = cluster.client()
+    snapshot = naive.metrics.snapshot()
+    naive.read(vector.data_base, LENGTH * 8)
+    naive_delta = naive.metrics.delta(snapshot)
+    for i in changed:
+        assert vector.get(reader, int(i)) == int(i) + 1
+    return (
+        change_fraction,
+        delta.far_accesses,
+        delta.bytes_read,
+        report.groups_refreshed,
+        naive_delta.bytes_read,
+    )
+
+
+def _dynamic_policy_trace():
+    """An iterative algorithm converging: update rate decays each round."""
+    cluster = build_cluster()
+    vector = cluster.refreshable_vector(
+        LENGTH, group_size=GROUP, quiet_refreshes=2, busy_notifications=64
+    )
+    writer, reader = cluster.client(), cluster.client()
+    vector.refresh(reader)
+    rng = np.random.default_rng(7)
+    trace = []
+    updates_per_round = 256
+    for round_ in range(14):
+        if updates_per_round >= 1:
+            picks = rng.choice(LENGTH, size=int(updates_per_round), replace=False)
+            vector.set_many(writer, {int(i): round_ for i in picks})
+        snapshot = reader.metrics.snapshot()
+        vector.refresh(reader)
+        delta = reader.metrics.delta(snapshot)
+        trace.append(
+            (round_, int(updates_per_round), vector.reader_mode(reader),
+             delta.far_accesses, delta.bytes_read)
+        )
+        updates_per_round //= 4  # convergence: updates dry up
+    return trace, vector.reader_mode(reader)
+
+
+def _scenario():
+    sweep = [_refresh_cost(f) for f in (0.001, 0.01, 0.05, 0.25, 1.0)]
+    trace, final_mode = _dynamic_policy_trace()
+    return sweep, trace, final_mode
+
+
+def test_e6_refreshable_vectors(benchmark):
+    sweep, trace, final_mode = run_once(benchmark, _scenario)
+    print_table(
+        f"E6: refresh cost vs change fraction (vector of {LENGTH} words)",
+        ["changed frac", "far accesses", "bytes read", "groups pulled", "naive bytes"],
+        sweep,
+    )
+    print_table(
+        "E6b: dynamic policy as an iterative algorithm converges",
+        ["round", "updates", "reader mode", "far accesses", "bytes"],
+        trace,
+    )
+    record(benchmark, {"final_mode": final_mode})
+    # Refresh is at most 2 far accesses at any change rate.
+    assert all(far <= 2 for _, far, *_ in sweep)
+    # Sparse changes cost a small fraction of the naive full read.
+    assert sweep[0][2] < sweep[0][4] / 10
+    # Bytes scale with what changed.
+    assert sweep[0][2] < sweep[-1][2]
+    # The reader ends in notification mode once updates dry up,
+    # and quiet refreshes there are free.
+    assert final_mode == "notify"
+    assert trace[-1][3] == 0

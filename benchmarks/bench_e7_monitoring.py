@@ -1,0 +1,103 @@
+"""Experiment E7 — the monitoring case study (section 6).
+
+The paper's formula: the naive design moves (k+1)N samples over the
+fabric; the histogram + notifications design moves N producer increments
+plus m notifications, with m << N because alarming samples are rare. We
+sweep consumer count k and alarm-tail probability p, and report total
+fabric traffic for both designs plus the multi-window variant.
+"""
+
+from __future__ import annotations
+
+from repro.apps.monitoring import (
+    AlarmConsumer,
+    MetricProducer,
+    NaiveConsumer,
+    NaiveMonitor,
+    NaiveProducer,
+    WindowedHistogramRing,
+)
+from repro.workloads import MetricStream
+
+from helpers import build_cluster, print_table, record, run_once
+
+N = 3_000
+BINS = 100
+
+
+def _run_naive(k, samples):
+    cluster = build_cluster()
+    monitor = NaiveMonitor.create(cluster.allocator, capacity=len(samples))
+    producer = NaiveProducer(monitor=monitor, client=cluster.client())
+    consumers = [
+        NaiveConsumer(monitor=monitor, client=cluster.client()) for _ in range(k)
+    ]
+    producer.run(samples)
+    alarms = 0
+    for consumer in consumers:
+        alarms += len(consumer.poll())
+    total = cluster.total_metrics()
+    return total.far_accesses, alarms
+
+
+def _run_histogram(k, samples):
+    cluster = build_cluster()
+    ring = WindowedHistogramRing.create(cluster.allocator, bins=BINS, window_count=4)
+    producer = MetricProducer(ring=ring, client=cluster.client())
+    consumers = [
+        AlarmConsumer(ring=ring, manager=cluster.notifications, client=cluster.client())
+        for _ in range(k)
+    ]
+    for consumer in consumers:
+        consumer.start()
+    producer.run(samples, samples_per_window=1000)
+    for consumer in consumers:
+        consumer.poll()
+    alarms = sum(len(c.alarms) for c in consumers)
+    total = cluster.total_metrics()
+    m = sum(c.client.metrics.notifications_received for c in consumers)
+    return total.far_accesses, m, alarms
+
+
+def _scenario():
+    rows = []
+    for k in (1, 2, 4, 8):
+        samples = MetricStream(bins=BINS, spike_probability=0.01, seed=21).samples(N)
+        naive_far, naive_alarms = _run_naive(k, samples)
+        hist_far, m, hist_alarms = _run_histogram(k, samples)
+        rows.append(
+            (k, naive_far, hist_far + m, m, naive_far / (hist_far + m),
+             naive_alarms, hist_alarms)
+        )
+    tail_rows = []
+    for p in (0.0, 0.01, 0.05, 0.2):
+        samples = MetricStream(bins=BINS, spike_probability=p, seed=22).samples(N)
+        hist_far, m, _ = _run_histogram(4, samples)
+        tail_rows.append((p, hist_far, m, m / N))
+    return rows, tail_rows
+
+
+def test_e7_monitoring(benchmark):
+    rows, tail_rows = run_once(benchmark, _scenario)
+    print_table(
+        f"E7: fabric traffic, naive (k+1)N vs histogram N+m (N={N})",
+        ["k", "naive transfers", "histogram transfers", "m (notifs)",
+         "speedup", "naive alarms", "hist alarms"],
+        rows,
+    )
+    print_table(
+        "E7b: notification volume vs alarm-tail probability (k=4)",
+        ["tail p", "far accesses", "m", "m/N"],
+        tail_rows,
+    )
+    record(benchmark, {"speedup_k8": rows[-1][4]})
+    for k, naive, hist, m, speedup, naive_alarms, hist_alarms in rows:
+        assert naive >= (k + 1) * N  # the paper's naive formula
+        assert m < N  # m < N always
+        assert speedup > 1.5
+        assert hist_alarms >= naive_alarms * 0.5  # alarms not lost
+    # Speedup grows with k: far memory as a traffic-reducing intermediary.
+    assert rows[-1][4] > rows[0][4]
+    # m tracks the tail probability and stays << N for rare alarms.
+    assert tail_rows[0][2] <= tail_rows[-1][2]
+    assert tail_rows[1][3] < 0.1

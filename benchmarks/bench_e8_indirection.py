@@ -1,0 +1,106 @@
+"""Experiment E8 — multi-node indirection (section 7.1).
+
+Pointer chains whose links straddle memory nodes: compare the FORWARD and
+ERROR policies on round trips, network traversals, and simulated latency,
+then show the allocator's locality hints removing the problem entirely
+("parts of the data structure where indirect addressing is expected to be
+common may benefit from localized placement").
+"""
+
+from __future__ import annotations
+
+from repro.alloc import near, on_node
+from repro.fabric import IndirectionPolicy
+from repro.fabric.wire import WORD
+
+from helpers import build_cluster, print_table, record, run_once
+
+CHASES = 500
+
+
+def _build_chain(cluster, local: bool):
+    """A pointer cell on node 0 whose target is local or remote."""
+    pointer = cluster.allocator.alloc_words(1, on_node(0))
+    hint = near(pointer) if local else on_node(1)
+    target = cluster.allocator.alloc_words(1, hint)
+    cluster.fabric.write_word(pointer, target)
+    cluster.fabric.write_word(target, 99)
+    return pointer
+
+
+def _chase(policy: IndirectionPolicy, local: bool):
+    cluster = build_cluster(node_count=4, indirection_policy=policy)
+    pointer = _build_chain(cluster, local)
+    client = cluster.client()
+    snapshot = client.metrics.snapshot()
+    start = client.clock.now_ns
+    for _ in range(CHASES):
+        assert client.load0_u64(pointer) == 99
+    delta = client.metrics.delta(snapshot)
+    elapsed = client.clock.now_ns - start
+    return (
+        delta.round_trips / CHASES,
+        delta.network_traversals / CHASES,
+        elapsed / CHASES,
+        delta.indirection_errors / CHASES,
+    )
+
+
+def _striped_httree():
+    """HT-tree over interleaved placement: without locality hints, bucket
+    -> item indirection regularly crosses nodes; forwarding absorbs it."""
+    cluster = build_cluster(
+        node_count=4, interleaved=True,
+        indirection_policy=IndirectionPolicy.FORWARD,
+    )
+    tree = cluster.ht_tree(bucket_count=512, max_chain=8)
+    client = cluster.client()
+    for k in range(400):
+        tree.put(client, k, k)
+    client.metrics.reset()
+    for k in range(400):
+        assert tree.get(client, k) == k
+    delta = client.metrics
+    return delta.far_accesses / 400, delta.indirection_forwards / 400
+
+
+def _scenario():
+    rows = []
+    for name, policy, local in (
+        ("local target (hinted alloc)", IndirectionPolicy.FORWARD, True),
+        ("remote target, FORWARD", IndirectionPolicy.FORWARD, False),
+        ("remote target, ERROR", IndirectionPolicy.ERROR, False),
+    ):
+        rt, hops, ns, errors = _chase(policy, local)
+        rows.append((name, rt, hops, ns, errors))
+    tree_far, tree_forwards = _striped_httree()
+    return rows, tree_far, tree_forwards
+
+
+def test_e8_indirection(benchmark):
+    rows, tree_far, tree_forwards = run_once(benchmark, _scenario)
+    print_table(
+        f"E8: pointer chase across memory nodes ({CHASES} dereferences)",
+        ["placement / policy", "round trips/op", "traversals/op", "ns/op", "errors/op"],
+        rows,
+    )
+    print(
+        f"HT-tree on striped placement: {tree_far:.3f} far accesses/lookup, "
+        f"{tree_forwards:.3f} forwards/lookup"
+    )
+    local, forward, error = rows
+    record(
+        benchmark,
+        {
+            "forward_traversals": forward[2],
+            "error_traversals": error[2],
+            "local_traversals": local[2],
+        },
+    )
+    # Section 7.1's ordering: local < forward < error on every metric.
+    assert local[1] == 1.0 and local[2] == 2.0
+    assert forward[1] == 1.0 and forward[2] == 3.0
+    assert error[1] == 2.0 and error[2] == 4.0
+    assert local[3] < forward[3] < error[3]  # simulated latency
+    # "request forwarding performing fewer network traversals"
+    assert forward[2] < error[2]

@@ -1,0 +1,178 @@
+"""Experiment F1 — Figure 1: the extended primitive table.
+
+For every primitive in the paper's Fig. 1, measure the far accesses and
+round trips it takes versus the best emulation using only baseline
+one-sided operations (loads, stores, CAS, FAA). The paper's argument for
+the extensions is exactly this column: "they avoid round trips to far
+memory".
+"""
+
+from __future__ import annotations
+
+from repro.fabric.wire import WORD, encode_u64
+
+from helpers import build_cluster, print_table, record, run_once
+
+
+def _measure(client, fn):
+    snapshot = client.metrics.snapshot()
+    fn()
+    delta = client.metrics.delta(snapshot)
+    return delta.far_accesses, delta.round_trips
+
+
+def _scenario():
+    cluster = build_cluster()
+    client = cluster.client()
+    alloc = cluster.allocator
+
+    pointer = alloc.alloc_words(1)
+    index_table = alloc.alloc_words(4)
+    target = alloc.alloc_words(16)
+    scatter_addrs = [alloc.alloc_words(1) for _ in range(8)]
+    watch = alloc.alloc_words(1)
+    writer = cluster.client()
+
+    def reset():
+        cluster.fabric.write_word(pointer, target)
+        for i in range(4):
+            cluster.fabric.write_word(index_table + i * WORD, target + i * WORD)
+
+    rows = []
+
+    def compare(name, primitive, emulation):
+        reset()
+        p_far, p_rt = _measure(client, primitive)
+        reset()
+        e_far, e_rt = _measure(client, emulation)
+        rows.append((name, p_far, e_far, e_far - p_far, f"{e_far / p_far:.1f}x"))
+
+    compare(
+        "load0",
+        lambda: client.load0(pointer, WORD),
+        lambda: client.read(client.read_u64(pointer), WORD),
+    )
+    compare(
+        "store0",
+        lambda: client.store0(pointer, encode_u64(1)),
+        lambda: client.write(client.read_u64(pointer), encode_u64(1)),
+    )
+    compare(
+        "load1",
+        lambda: client.load1(index_table, 2 * WORD, WORD),
+        lambda: client.read(client.read_u64(index_table + 2 * WORD), WORD),
+    )
+    compare(
+        "store1",
+        lambda: client.store1(index_table, WORD, encode_u64(2)),
+        lambda: client.write(client.read_u64(index_table + WORD), encode_u64(2)),
+    )
+    compare(
+        "load2",
+        lambda: client.load2(pointer, 3 * WORD, WORD),
+        lambda: client.read(client.read_u64(pointer) + 3 * WORD, WORD),
+    )
+    compare(
+        "store2",
+        lambda: client.store2(pointer, 3 * WORD, encode_u64(3)),
+        lambda: client.write(client.read_u64(pointer) + 3 * WORD, encode_u64(3)),
+    )
+    compare(
+        "faai",
+        lambda: client.faai(pointer, WORD, WORD),
+        # Emulation needs a lock to be atomic: CAS, read, bump, read, unlock.
+        lambda: (
+            client.cas(watch, 0, 1),
+            client.read(client.read_u64(pointer), WORD),
+            client.faa(pointer, WORD),
+            client.write_u64(watch, 0),
+        ),
+    )
+    compare(
+        "saai",
+        lambda: client.saai(pointer, WORD, encode_u64(9)),
+        lambda: (
+            client.cas(watch, 0, 1),
+            client.write(client.read_u64(pointer), encode_u64(9)),
+            client.faa(pointer, WORD),
+            client.write_u64(watch, 0),
+        ),
+    )
+    compare(
+        "fsaai (extension)",
+        lambda: client.fsaai(pointer, WORD, encode_u64(9)),
+        lambda: (
+            client.cas(watch, 0, 1),
+            client.read(client.read_u64(pointer), WORD),
+            client.write(client.read_u64(pointer), encode_u64(9)),
+            client.faa(pointer, WORD),
+            client.write_u64(watch, 0),
+        ),
+    )
+    compare(
+        "add0",
+        lambda: client.add0(pointer, 1),
+        lambda: client.faa(client.read_u64(pointer), 1),
+    )
+    compare(
+        "add1",
+        lambda: client.add1(index_table, 1, WORD),
+        lambda: client.faa(client.read_u64(index_table + WORD), 1),
+    )
+    compare(
+        "add2",
+        lambda: client.add2(pointer, 1, 2 * WORD),
+        lambda: client.faa(client.read_u64(pointer) + 2 * WORD, 1),
+    )
+    compare(
+        "rgather(8)",
+        lambda: client.rgather([(a, WORD) for a in scatter_addrs]),
+        lambda: [client.read_u64(a) for a in scatter_addrs],
+    )
+    compare(
+        "wscatter(8)",
+        lambda: client.wscatter(
+            [(a, WORD) for a in scatter_addrs], encode_u64(0) * 8
+        ),
+        lambda: [client.write_u64(a, 0) for a in scatter_addrs],
+    )
+    compare(
+        "rscatter(4)",
+        lambda: client.rscatter(target, [WORD] * 4),
+        lambda: client.read(target, 4 * WORD),  # same cost: contiguous
+    )
+    compare(
+        "wgather(4)",
+        lambda: client.wgather(target, [encode_u64(i) for i in range(4)]),
+        lambda: client.write(target, encode_u64(0) * 4),
+    )
+
+    # Notifications vs polling (notify0 / notifye / notify0d share a row
+    # shape: install once vs probe forever).
+    reset()
+    snapshot = client.metrics.snapshot()
+    cluster.notifications.notify0(client, watch, WORD)
+    writer.write_u64(watch, 7)
+    client.poll_notifications()
+    notify_cost = client.metrics.delta(snapshot).far_accesses
+    probes = 20
+    snapshot = client.metrics.snapshot()
+    for _ in range(probes):
+        client.read_u64(watch)
+    poll_cost = client.metrics.delta(snapshot).far_accesses
+    rows.append(
+        ("notify0 (vs 20 polls)", notify_cost, poll_cost, poll_cost - notify_cost,
+         f"{poll_cost / notify_cost:.1f}x")
+    )
+    return rows
+
+
+def test_fig1_primitive_round_trips(benchmark):
+    rows = run_once(benchmark, _scenario)
+    print_table(
+        "F1: Fig.1 primitives — far accesses, primitive vs emulation",
+        ["primitive", "primitive", "emulated", "saved", "ratio"],
+        rows,
+    )
+    record(benchmark, {name: f"{p} vs {e}" for name, p, e, _, _ in rows})
+    assert all(p <= e for _, p, e, _, _ in rows)

@@ -1,0 +1,61 @@
+"""Shared utilities for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one experiment row from DESIGN.md
+section 4. The quantities the paper argues about — far accesses, round
+trips, network traversals, notification counts, simulated time — are
+structural counts from the simulator, not wall-clock timings; the
+pytest-benchmark timer is attached to the scenario run so the harness
+still reports, but the scientific output is the table each bench prints
+and stores in ``benchmark.extra_info``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro import Cluster
+
+
+def build_cluster(**kwargs) -> Cluster:
+    """A benchmark-sized cluster (64 MiB/node default)."""
+    kwargs.setdefault("node_count", 1)
+    kwargs.setdefault("node_size", 64 << 20)
+    return Cluster(**kwargs)
+
+
+def print_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Print one experiment table in a stable, grep-friendly format."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(col)), *(len(_fmt(row[i])) for row in rows)) if rows else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def record(benchmark, info: Mapping[str, object]) -> None:
+    """Attach the experiment's key numbers to the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` once through pytest-benchmark (scenarios are
+    deterministic simulations; repeating them adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

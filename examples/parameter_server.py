@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Distributed training over far memory (section 5.4's motivating app).
+
+Model parameters live in a refreshable vector; workers train against
+cached copies with bounded staleness and ship sparse gradients through a
+far queue. The script compares staleness settings: more staleness means
+less far-memory traffic, and convergence survives — the parameter-server
+trade the paper cites.
+
+Run:  python examples/parameter_server.py
+"""
+
+from repro import Cluster
+from repro.apps.paramserver import run_training
+
+
+def train(staleness: int):
+    cluster = Cluster(node_count=2, node_size=64 << 20)
+    report = run_training(
+        cluster,
+        dimensions=128,
+        examples=256,
+        workers=4,
+        rounds=50,
+        staleness=staleness,
+        learning_rate=0.05,
+        group_size=16,
+        seed=7,
+    )
+    total = cluster.total_metrics()
+    return report, total
+
+
+def main() -> None:
+    print("bounded-staleness SGD on a far-memory parameter vector\n")
+    print(
+        f"{'staleness':>9}  {'initial loss':>12}  {'final loss':>10}  "
+        f"{'refreshes':>9}  {'far accesses':>12}  {'converged':>9}"
+    )
+    results = {}
+    for staleness in (1, 4, 8):
+        report, total = train(staleness)
+        results[staleness] = (report, total)
+        print(
+            f"{staleness:>9}  {report.losses[0]:>12.3f}  {report.losses[-1]:>10.3f}  "
+            f"{report.worker_refreshes:>9}  {total.far_accesses:>12}  "
+            f"{str(report.converged()):>9}"
+        )
+
+    fresh = results[1][1].far_accesses
+    stale = results[8][1].far_accesses
+    print(
+        f"\nstaleness 8 vs 1: {fresh / stale:.2f}x less far-memory traffic, "
+        "same convergence — the section 5.4 claim."
+    )
+
+    report = results[4][0]
+    print("\nloss curve (staleness=4):")
+    for i in range(0, len(report.losses), 10):
+        bar = "#" * max(1, int(report.losses[i] / report.losses[0] * 40))
+        print(f"  round {i:>3}: {report.losses[i]:>8.3f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""``python -m repro`` — a one-minute guided demo of the reproduction.
+
+Prints the library's inventory, runs a tiny end-to-end scenario with
+exact far-access accounting, and points at the real entry points
+(examples, tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+from repro import Cluster, __version__
+from repro.fabric.profile import Profiler
+
+
+def main() -> None:
+    print(f"repro {__version__} — Far Memory Data Structures (HotOS '19)\n")
+    print("simulated fabric: 2 memory nodes x 32 MiB, 100 ns near / 1 us far\n")
+
+    cluster = Cluster(node_count=2, node_size=32 << 20)
+    client = cluster.client("you")
+    profiler = Profiler()
+
+    tree = cluster.ht_tree(bucket_count=1024)
+    with profiler.measure(client, "ht-tree put x100"):
+        for key in range(100):
+            tree.put(client, key, key * key)
+    tree.get(client, 0)
+    with profiler.measure(client, "ht-tree get x100 (warm)"):
+        for key in range(100):
+            assert tree.get(client, key) == key * key
+
+    queue = cluster.far_queue(capacity=64, max_clients=4)
+    with profiler.measure(client, "queue enq+deq x100"):
+        for i in range(100):
+            queue.enqueue(client, i + 1)
+            queue.dequeue(client)
+
+    counter = cluster.far_counter()
+    with profiler.measure(client, "counter add x100"):
+        for _ in range(100):
+            counter.increment(client)
+
+    print(profiler.render())
+    print(
+        f"\ntotal: {client.metrics.far_accesses} far accesses, "
+        f"{client.metrics.near_accesses} near accesses, "
+        f"{client.clock.now_ns / 1e6:.2f} simulated ms"
+    )
+    print(
+        "\nnext:\n"
+        "  python examples/quickstart.py          # the full tour\n"
+        "  pytest tests/                          # ~650 tests\n"
+        "  pytest benchmarks/ --benchmark-only -s # the paper's experiments\n"
+        "  less DESIGN.md EXPERIMENTS.md          # what maps to what"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Far-memory allocation with locality hints (paper section 7.1)."""
+
+from .allocator import AllocStats, FarAllocator
+from .epoch import EpochReclaimer, ReclaimStats
+from .locality import NEAR_WORD, PlacementHint, near, on_node, spread
+
+__all__ = [
+    "AllocStats",
+    "FarAllocator",
+    "EpochReclaimer",
+    "ReclaimStats",
+    "NEAR_WORD",
+    "PlacementHint",
+    "near",
+    "on_node",
+    "spread",
+]

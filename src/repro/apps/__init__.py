@@ -1,0 +1,2 @@
+"""Case-study applications built on the far-memory data structures:
+monitoring (paper section 6) and a parameter server (section 5.4)."""

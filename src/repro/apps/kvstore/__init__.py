@@ -1,0 +1,5 @@
+"""A composed far-memory key-value store (registry + HT-tree + blobs)."""
+
+from .kvstore import KIND_KVSTORE, FarKVStore, KeyCollisionError
+
+__all__ = ["KIND_KVSTORE", "FarKVStore", "KeyCollisionError"]

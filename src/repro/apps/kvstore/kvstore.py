@@ -1,0 +1,191 @@
+"""A far-memory key-value store service, composed end to end.
+
+The monitoring and parameter-server apps each exercise one structure;
+this app composes most of the library into the service the paper's
+introduction motivates ("developers often use memory through high-level
+data structures"):
+
+* an **HT-tree** index and **blob store** hold string keys and byte
+  values entirely in far memory;
+* a **registry** entry makes the store discoverable by name, so any
+  client can :meth:`FarKVStore.open` it without out-of-band coordination;
+* per-store **statistics counters** live in far memory too (every client
+  sees the same numbers);
+* an optional **epoch reclaimer** recycles replaced values;
+* a built-in **profiler** reports the per-operation far-access ledger.
+
+String keys are hashed to u64 for the index; the blob stores the full
+key alongside the value, so hash collisions are detected (and surfaced
+as an explicit error, with the same 2-far-access fast path when absent).
+Blob layout: ``key_len | key bytes | value bytes`` inside the store's
+length-prefixed region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...alloc.epoch import EpochReclaimer
+from ...cluster import Cluster
+from ...core.blob import FarBlobStore
+from ...core.counter import FarCounter
+from ...core.ht_tree import HTTree
+from ...core.registry import FarRegistry, RegistryError, name_hash
+from ...fabric.client import Client
+from ...fabric.errors import FabricError
+from ...fabric.profile import Profiler
+from ...fabric.wire import WORD, decode_u64, encode_u64
+
+KIND_KVSTORE = 100
+
+
+class KeyCollisionError(FabricError):
+    """Two distinct string keys hashed to the same 64-bit index key."""
+
+
+@dataclass
+class FarKVStore:
+    """A named, shareable far-memory KV store (string -> bytes)."""
+
+    index: HTTree
+    blobs: FarBlobStore
+    ops_counter: FarCounter
+    profiler: Profiler = field(default_factory=Profiler)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        cluster: Cluster,
+        registry: FarRegistry,
+        client: Client,
+        name: str,
+        *,
+        bucket_count: int = 4096,
+        reclaimer: Optional[EpochReclaimer] = None,
+    ) -> "FarKVStore":
+        """Provision a store and publish it in the registry."""
+        index = cluster.ht_tree(bucket_count=bucket_count, reclaimer=reclaimer)
+        blobs = FarBlobStore.create(cluster.allocator, index, reclaimer=reclaimer)
+        ops = FarCounter.create(cluster.allocator)
+        payload = b"".join(
+            encode_u64(word)
+            for word in (
+                index.header,
+                index.bucket_count,
+                index.max_chain,
+                ops.address,
+            )
+        )
+        registry.register(client, name, KIND_KVSTORE, payload)
+        return cls(index=index, blobs=blobs, ops_counter=ops)
+
+    @classmethod
+    def open(
+        cls,
+        cluster: Cluster,
+        registry: FarRegistry,
+        client: Client,
+        name: str,
+        *,
+        reclaimer: Optional[EpochReclaimer] = None,
+    ) -> "FarKVStore":
+        """Attach to a published store by name."""
+        found = registry.lookup(client, name)
+        if found is None:
+            raise RegistryError(f"no KV store named {name!r}")
+        kind, payload = found
+        if kind != KIND_KVSTORE:
+            raise RegistryError(f"{name!r} is not a KV store (kind {kind})")
+        words = [decode_u64(payload[i * 8 : (i + 1) * 8]) for i in range(4)]
+        index = HTTree(
+            cluster.allocator,
+            cluster.notifications,
+            words[0],
+            bucket_count=words[1],
+            max_chain=words[2],
+            cache_mode="version",
+            table_hint_spread=True,
+            reclaimer=reclaimer,
+        )
+        blobs = FarBlobStore.create(cluster.allocator, index, reclaimer=reclaimer)
+        return cls(
+            index=index,
+            blobs=blobs,
+            ops_counter=FarCounter.attach(words[3]),
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pack(key: str, value: bytes) -> bytes:
+        key_bytes = key.encode("utf-8")
+        return encode_u64(len(key_bytes)) + key_bytes + value
+
+    @staticmethod
+    def _unpack(raw: bytes) -> tuple[str, bytes]:
+        key_len = decode_u64(raw[:WORD])
+        key = raw[WORD : WORD + key_len].decode("utf-8")
+        return key, raw[WORD + key_len :]
+
+    def put(self, client: Client, key: str, value: bytes) -> None:
+        """Store ``value`` under ``key``."""
+        with self.profiler.measure(client, "put"):
+            index_key = name_hash(key)
+            existing = self.blobs.get(client, index_key)
+            if existing is not None:
+                stored_key, _ = self._unpack(existing)
+                if stored_key != key:
+                    raise KeyCollisionError(
+                        f"{key!r} collides with {stored_key!r} in the index"
+                    )
+            self.blobs.put(client, index_key, self._pack(key, value))
+            self.ops_counter.increment(client)
+
+    def get(self, client: Client, key: str) -> Optional[bytes]:
+        """Fetch the value for ``key``, or None."""
+        with self.profiler.measure(client, "get"):
+            raw = self.blobs.get(client, name_hash(key))
+            if raw is None:
+                return None
+            stored_key, value = self._unpack(raw)
+            if stored_key != key:
+                raise KeyCollisionError(
+                    f"{key!r} collides with {stored_key!r} in the index"
+                )
+            return value
+
+    def delete(self, client: Client, key: str) -> bool:
+        """Remove ``key``; True if it existed."""
+        with self.profiler.measure(client, "delete"):
+            index_key = name_hash(key)
+            raw = self.blobs.get(client, index_key)
+            if raw is None:
+                return False
+            stored_key, _ = self._unpack(raw)
+            if stored_key != key:
+                raise KeyCollisionError(
+                    f"{key!r} collides with {stored_key!r} in the index"
+                )
+            removed = self.blobs.delete(client, index_key)
+            if removed:
+                self.ops_counter.increment(client)
+            return removed
+
+    def contains(self, client: Client, key: str) -> bool:
+        """Membership test (one index lookup)."""
+        return self.index.get(client, name_hash(key)) is not None
+
+    def total_operations(self, client: Client) -> int:
+        """Mutations applied store-wide, by any client (one far access)."""
+        return self.ops_counter.read(client)
+
+    def report(self) -> str:
+        """The profiler's per-operation cost table."""
+        return self.profiler.render()

@@ -1,0 +1,21 @@
+"""The section 6 monitoring case study: far memory as an intermediary that
+reduces interconnect traffic from (k+1)N transfers to N + m, m << N."""
+
+from .consumer import DEFAULT_LEVELS, Alarm, AlarmConsumer, AlarmLevel
+from .histogram import FarHistogram
+from .naive import NaiveConsumer, NaiveMonitor, NaiveProducer
+from .producer import MetricProducer
+from .windows import WindowedHistogramRing
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "Alarm",
+    "AlarmConsumer",
+    "AlarmLevel",
+    "FarHistogram",
+    "NaiveConsumer",
+    "NaiveMonitor",
+    "NaiveProducer",
+    "MetricProducer",
+    "WindowedHistogramRing",
+]

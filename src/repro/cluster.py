@@ -1,0 +1,178 @@
+"""Cluster: one-stop wiring of the far-memory testbed.
+
+A :class:`Cluster` assembles the pieces a deployment needs — fabric,
+placement, cost model, allocator, notification manager — and provides
+factories for clients and for every far-memory data structure in
+:mod:`repro.core`. All examples and benchmarks start here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .alloc import FarAllocator, PlacementHint
+from .fabric import (
+    Client,
+    CostModel,
+    Fabric,
+    IndirectionPolicy,
+    InterleavedPlacement,
+    Metrics,
+    Placement,
+    RangePlacement,
+    aggregate,
+)
+from .notify import DeliveryPolicy, NotificationManager
+
+
+class Cluster:
+    """A far-memory deployment: memory pool + clients + notifications."""
+
+    def __init__(
+        self,
+        *,
+        node_count: int = 1,
+        node_size: int = 64 << 20,
+        interleaved: bool = False,
+        interleave_granularity: int = 4096,
+        cost_model: Optional[CostModel] = None,
+        indirection_policy: IndirectionPolicy = IndirectionPolicy.FORWARD,
+        delivery_policy: Optional[DeliveryPolicy] = None,
+    ) -> None:
+        placement: Placement
+        if interleaved:
+            placement = InterleavedPlacement(
+                node_count=node_count,
+                node_size=node_size,
+                granularity=interleave_granularity,
+            )
+        else:
+            placement = RangePlacement(node_count=node_count, node_size=node_size)
+        self.fabric = Fabric(
+            placement,
+            cost_model=cost_model,
+            indirection_policy=indirection_policy,
+        )
+        self.allocator = FarAllocator(self.fabric)
+        self.notifications = NotificationManager(self.fabric, delivery_policy)
+        self.clients: list[Client] = []
+
+    # ------------------------------------------------------------------
+    # Clients and cluster-wide accounting
+    # ------------------------------------------------------------------
+
+    def client(self, name: Optional[str] = None) -> Client:
+        """Create and register a new client (compute node)."""
+        c = Client(self.fabric, name)
+        self.clients.append(c)
+        return c
+
+    def total_metrics(self) -> Metrics:
+        """Sum of all registered clients' metrics."""
+        return aggregate([c.metrics for c in self.clients])
+
+    def reset_metrics(self) -> None:
+        """Zero every client's metrics and clock (between benchmark phases)."""
+        for c in self.clients:
+            c.metrics.reset()
+            c.clock.reset()
+
+    # ------------------------------------------------------------------
+    # Data structure factories (paper section 5)
+    # ------------------------------------------------------------------
+
+    def far_counter(self, hint: Optional[PlacementHint] = None):
+        """A far counter (section 5.1)."""
+        from .core.counter import FarCounter
+
+        return FarCounter.create(self.allocator, hint=hint)
+
+    def far_vector(
+        self, length: int, *, hint: Optional[PlacementHint] = None
+    ):
+        """A far vector of 64-bit words (section 5.1)."""
+        from .core.vector import FarVector
+
+        return FarVector.create(self.allocator, length, hint=hint)
+
+    def far_mutex(self, hint: Optional[PlacementHint] = None):
+        """A far mutex (section 5.1)."""
+        from .core.mutex import FarMutex
+
+        return FarMutex.create(self.allocator, self.notifications, hint=hint)
+
+    def far_barrier(self, participants: int, hint: Optional[PlacementHint] = None):
+        """A far barrier for ``participants`` parties (section 5.1)."""
+        from .core.barrier import FarBarrier
+
+        return FarBarrier.create(
+            self.allocator, self.notifications, participants, hint=hint
+        )
+
+    def ht_tree(self, **kwargs):
+        """An HT-tree map (section 5.2)."""
+        from .core.ht_tree import HTTree
+
+        return HTTree.create(self.allocator, self.notifications, **kwargs)
+
+    def far_queue(self, capacity: int, max_clients: int, **kwargs):
+        """A far queue (section 5.3)."""
+        from .core.queue import FarQueue
+
+        return FarQueue.create(
+            self.allocator, capacity=capacity, max_clients=max_clients, **kwargs
+        )
+
+    def refreshable_vector(self, length: int, **kwargs):
+        """A refreshable vector (section 5.4)."""
+        from .core.refreshable_vector import RefreshableVector
+
+        return RefreshableVector.create(
+            self.allocator, self.notifications, length, **kwargs
+        )
+
+    def far_stack(self, **kwargs):
+        """A Treiber far stack (extension; see core.stack)."""
+        from .core.stack import FarStack
+
+        return FarStack.create(self.allocator, **kwargs)
+
+    def far_rwlock(self, hint: Optional[PlacementHint] = None):
+        """A far reader-writer lock (extension)."""
+        from .core.rwlock import FarRWLock
+
+        return FarRWLock.create(self.allocator, self.notifications, hint=hint)
+
+    def far_semaphore(self, permits: int, hint: Optional[PlacementHint] = None):
+        """A far counting semaphore (extension)."""
+        from .core.semaphore import FarSemaphore
+
+        return FarSemaphore.create(
+            self.allocator, self.notifications, permits, hint=hint
+        )
+
+    def blob_store(self, *, index=None, **kwargs):
+        """A variable-size value store over an HT-tree index (extension)."""
+        from .core.blob import FarBlobStore
+
+        if index is None:
+            index = self.ht_tree()
+        return FarBlobStore.create(self.allocator, index, **kwargs)
+
+    def registry(self, capacity: int = 64):
+        """A far-memory naming registry (extension)."""
+        from .core.registry import FarRegistry
+
+        return FarRegistry.create(self.allocator, capacity=capacity)
+
+    def reclaimer(self):
+        """An epoch-based reclaimer over this cluster's allocator."""
+        from .alloc.epoch import EpochReclaimer
+
+        return EpochReclaimer(self.allocator)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(nodes={self.fabric.placement.node_count}, "
+            f"clients={len(self.clients)})"
+        )

@@ -1,0 +1,708 @@
+"""The HT-tree map (paper section 5.2).
+
+"We propose a new data structure, the HT-tree, which is a tree where each
+leaf node stores base pointers of hash tables. Clients cache the entire
+tree, but not the hash tables. To find a key, a client traverses the tree
+in its cache to obtain a hash table base pointer, applies the hash
+function to calculate the bucket number, and then finally accesses the
+bucket in far memory, using indirect addressing to follow the pointer in
+the bucket. When a hash table has enough collisions, it is split and added
+to the tree, without affecting the other hash tables."
+
+Far-memory layout
+-----------------
+
+Tree header (fixed address, 3 words)::
+
+    +0   tree version
+    +8   leaf count
+    +16  pointer to the serialized leaves array
+
+Leaves array (``leaf_count`` entries x 32 bytes, sorted by key range)::
+
+    +0   inclusive upper bound of the leaf's key range
+    +8   hash table base pointer
+    +16  hash table version
+    +24  bucket count
+
+Hash table::
+
+    +0   table version
+    +8   split lock
+    +16  buckets[bucket_count]   (word: pointer to first item record, or 0)
+
+Item record (32 bytes)::
+
+    +0   version (the owning table's version, at insert time)
+    +8   key
+    +16  value
+    +24  next item record (or 0)
+
+Far-access costs (the section 5.2 claims)
+-----------------------------------------
+
+* **Lookup** — tree traversal is near-memory (client cache); the bucket
+  access is one ``load0`` that dereferences the bucket pointer and returns
+  the whole 32-byte item record: **one far access** when the chain length
+  is one. Collision chains add one read per extra hop; splits keep chains
+  short. An empty bucket also costs exactly one far access (``load0`` of
+  the null pointer reads the reserved zero page, whose version word 0
+  means "no item").
+* **Store** — updating an existing head-of-chain item is **two far
+  accesses**: the ``load0`` version check plus the in-place value write.
+  Inserting a brand-new item adds one more (writing the 32-byte record)
+  before the bucket CAS — the paper's "two" counts the version check and
+  the CAS; we report both shapes separately in EXPERIMENTS.md.
+* **Stale caches** — versions make staleness detectable without extra
+  accesses on the fast path: when a table is split, every old bucket is
+  pointed at a tombstone record whose version word is ``MOVED``; a client
+  holding the stale tree sees the tombstone in its (single) bucket access,
+  refreshes its cached tree (two far accesses: header + leaves array), and
+  retries. Alternatively ``cache_mode="notify"`` subscribes ``notify0`` on
+  the tree header so caches are invalidated eagerly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..alloc import FarAllocator, PlacementHint, spread
+from ..alloc.epoch import EpochReclaimer
+from ..fabric.client import Client
+from ..fabric.errors import StaleCacheError
+from ..fabric.wire import U64_MASK, WORD, decode_u64, encode_u64
+from ..notify.manager import NotificationManager
+from ..notify.subscription import Subscription
+
+ITEM_BYTES = 4 * WORD
+LEAF_BYTES = 4 * WORD
+HEADER_WORDS = 3
+TABLE_HEADER_BYTES = 2 * WORD
+MOVED = U64_MASK
+"""Tombstone version: this table's contents moved in a split."""
+
+
+def hash_u64(key: int) -> int:
+    """SplitMix64 finalizer: a fast, well-mixed stable hash for u64 keys."""
+    z = (key + 0x9E3779B97F4A7C15) & U64_MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & U64_MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & U64_MASK
+    return z ^ (z >> 31)
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    """One cached leaf: a key range mapped to a far hash table."""
+
+    upper: int  # inclusive upper bound of the key range
+    table: int  # far base address of the hash table
+    version: int
+    buckets: int
+
+    def bucket_address(self, key: int) -> int:
+        """Far address of the bucket word for ``key``."""
+        index = hash_u64(key) % self.buckets
+        return self.table + TABLE_HEADER_BYTES + index * WORD
+
+
+@dataclass
+class _Item:
+    """A decoded 32-byte item record."""
+
+    version: int
+    key: int
+    value: int
+    next: int
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "_Item":
+        return cls(
+            version=decode_u64(raw[0:8]),
+            key=decode_u64(raw[8:16]),
+            value=decode_u64(raw[16:24]),
+            next=decode_u64(raw[24:32]),
+        )
+
+    def encode(self) -> bytes:
+        return (
+            encode_u64(self.version)
+            + encode_u64(self.key)
+            + encode_u64(self.value)
+            + encode_u64(self.next)
+        )
+
+
+@dataclass
+class _TreeCache:
+    """A client's cached copy of the entire tree (section 5.2: "Clients
+    cache the entire tree, but not the hash tables")."""
+
+    version: int = -1
+    region: int = 0
+    uppers: list[int] = field(default_factory=list)
+    leaves: list[_Leaf] = field(default_factory=list)
+    valid: bool = False
+    subscription: Optional[Subscription] = None
+
+    def find_leaf(self, key: int) -> _Leaf:
+        index = bisect_left(self.uppers, key)
+        return self.leaves[index]
+
+    def size_bytes(self) -> int:
+        """Client cache footprint — the section 5.2 scaling argument."""
+        return len(self.leaves) * LEAF_BYTES
+
+
+@dataclass
+class HTTreeStats:
+    """Structure-level event counts (far accesses live in client metrics)."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    chain_hops: int = 0
+    stale_refreshes: int = 0
+    cache_loads: int = 0
+    cas_retries: int = 0
+    splits: int = 0
+    split_items_moved: int = 0
+    notify_invalidations: int = 0
+    scans: int = 0
+
+
+class HTTree:
+    """A far-memory ordered map: a client-cached range tree over far hash
+    tables. Keys and values are 64-bit words (store far pointers for
+    larger values)."""
+
+    def __init__(
+        self,
+        allocator: FarAllocator,
+        manager: NotificationManager,
+        header: int,
+        *,
+        bucket_count: int,
+        max_chain: int,
+        cache_mode: str,
+        table_hint_spread: bool,
+        reclaimer: "EpochReclaimer | None" = None,
+    ) -> None:
+        if cache_mode not in ("version", "notify"):
+            raise ValueError("cache_mode must be 'version' or 'notify'")
+        self.allocator = allocator
+        self.manager = manager
+        self.header = header
+        self.bucket_count = bucket_count
+        self.max_chain = max_chain
+        self.cache_mode = cache_mode
+        self.table_hint_spread = table_hint_spread
+        self.reclaimer = reclaimer
+        self.stats = HTTreeStats()
+        self._caches: dict[int, _TreeCache] = {}
+        self._item_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        allocator: FarAllocator,
+        manager: NotificationManager,
+        *,
+        bucket_count: int = 1024,
+        max_chain: int = 4,
+        initial_leaves: int = 1,
+        cache_mode: str = "version",
+        table_hint_spread: bool = True,
+        hint: Optional[PlacementHint] = None,
+        reclaimer: "EpochReclaimer | None" = None,
+    ) -> "HTTree":
+        """Allocate an empty HT-tree with ``initial_leaves`` key-range
+        partitions, each backed by one hash table of ``bucket_count``
+        buckets."""
+        if bucket_count <= 0 or initial_leaves <= 0 or max_chain < 1:
+            raise ValueError("bucket_count, initial_leaves, max_chain must be positive")
+        header = allocator.alloc(HEADER_WORDS * WORD, hint)
+        tree = cls(
+            allocator,
+            manager,
+            header,
+            bucket_count=bucket_count,
+            max_chain=max_chain,
+            cache_mode=cache_mode,
+            table_hint_spread=table_hint_spread,
+            reclaimer=reclaimer,
+        )
+        leaves = []
+        step = (U64_MASK // initial_leaves) + 1
+        for i in range(initial_leaves):
+            upper = U64_MASK if i == initial_leaves - 1 else (i + 1) * step - 1
+            table = tree._create_table(version=1)
+            leaves.append(_Leaf(upper=upper, table=table, version=1, buckets=bucket_count))
+        tree._publish_tree(version=1, leaves=leaves)
+        return tree
+
+    def _table_hint(self) -> Optional[PlacementHint]:
+        # Section 7.1: independent hash tables spread across memory nodes
+        # for parallelism; each table's buckets+chains stay co-located.
+        return spread() if self.table_hint_spread else None
+
+    def _create_table(self, version: int) -> int:
+        size = TABLE_HEADER_BYTES + self.bucket_count * WORD
+        table = self.allocator.alloc(size, self._table_hint())
+        fabric = self.allocator.fabric
+        fabric.write(table, b"\x00" * size)
+        fabric.write_word(table, version)
+        return table
+
+    def _publish_tree(self, version: int, leaves: list[_Leaf]) -> None:
+        """Serialize the leaves array and flip the header (setup-side or
+        splitter-side; callers charge the far accesses)."""
+        blob = b"".join(
+            encode_u64(leaf.upper)
+            + encode_u64(leaf.table)
+            + encode_u64(leaf.version)
+            + encode_u64(leaf.buckets)
+            for leaf in leaves
+        )
+        region = self.allocator.alloc(max(len(blob), WORD))
+        fabric = self.allocator.fabric
+        fabric.write(region, blob)
+        header_blob = encode_u64(version) + encode_u64(len(leaves)) + encode_u64(region)
+        fabric.write(self.header, header_blob)
+
+    # ------------------------------------------------------------------
+    # Client tree cache
+    # ------------------------------------------------------------------
+
+    def _cache(self, client: Client) -> _TreeCache:
+        cache = self._caches.get(client.client_id)
+        if cache is None:
+            cache = _TreeCache()
+            self._caches[client.client_id] = cache
+            if self.cache_mode == "notify":
+                cache.subscription = self.manager.notify0(client, self.header, WORD)
+        if self.cache_mode == "notify":
+            self._pump_invalidations(client, cache)
+        if not cache.valid:
+            self._load_cache(client, cache)
+        return cache
+
+    def _pump_invalidations(self, client: Client, cache: _TreeCache) -> None:
+        if cache.subscription is None:
+            return
+        for n in client.poll_notifications():
+            if n.sub_id == cache.subscription.sub_id:
+                cache.valid = False
+                self.stats.notify_invalidations += 1
+            else:
+                client.deliver(n)
+
+    def _load_cache(self, client: Client, cache: _TreeCache) -> None:
+        """Refresh the whole cached tree: two far accesses (header, leaves)."""
+        raw_header = client.read(self.header, HEADER_WORDS * WORD)
+        version = decode_u64(raw_header[0:8])
+        count = decode_u64(raw_header[8:16])
+        region = decode_u64(raw_header[16:24])
+        raw = client.read(region, count * LEAF_BYTES)
+        leaves = []
+        for i in range(count):
+            off = i * LEAF_BYTES
+            leaves.append(
+                _Leaf(
+                    upper=decode_u64(raw[off : off + 8]),
+                    table=decode_u64(raw[off + 8 : off + 16]),
+                    version=decode_u64(raw[off + 16 : off + 24]),
+                    buckets=decode_u64(raw[off + 24 : off + 32]),
+                )
+            )
+        cache.version = version
+        cache.region = region
+        cache.leaves = leaves
+        cache.uppers = [leaf.upper for leaf in leaves]
+        cache.valid = True
+        self.stats.cache_loads += 1
+
+    def _stale_refresh(self, client: Client) -> None:
+        self.stats.stale_refreshes += 1
+        cache = self._caches[client.client_id]
+        cache.valid = False
+        self._load_cache(client, cache)
+
+    def cache_bytes(self, client: Client) -> int:
+        """This client's tree-cache footprint in bytes (claim C4)."""
+        return self._cache(client).size_bytes()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, client: Client, key: int, *, _depth: int = 0) -> Optional[int]:
+        """Look up ``key``: one far access on the fast path (fresh cache,
+        chain length <= 1). Returns the value or None."""
+        self._check_key(key)
+        if _depth == 0:
+            self.stats.lookups += 1
+        if _depth > 4:
+            raise StaleCacheError("HT-tree cache failed to converge after refreshes")
+        cache = self._cache(client)
+        leaf = cache.find_leaf(key)
+        client.touch_local(max(1, len(cache.uppers).bit_length()))
+        raw = client.load0(leaf.bucket_address(key), ITEM_BYTES).value
+        item = _Item.parse(raw)
+        if item.version == 0:
+            self.stats.misses += 1
+            return None
+        if item.version == MOVED or item.version != leaf.version:
+            self._stale_refresh(client)
+            return self.get(client, key, _depth=_depth + 1)
+        while True:
+            if item.key == key:
+                self.stats.hits += 1
+                return item.value
+            if item.next == 0:
+                self.stats.misses += 1
+                return None
+            self.stats.chain_hops += 1
+            item = _Item.parse(client.read(item.next, ITEM_BYTES))
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+
+    def put(self, client: Client, key: int, value: int, *, _depth: int = 0) -> None:
+        """Insert or update ``key``: two far accesses to update an existing
+        head-of-chain item; three to insert a new item (version-check read,
+        record write, bucket CAS)."""
+        self._check_key(key)
+        if _depth > 4:
+            raise StaleCacheError("HT-tree cache failed to converge after refreshes")
+        cache = self._cache(client)
+        leaf = cache.find_leaf(key)
+        client.touch_local(max(1, len(cache.uppers).bit_length()))
+        bucket_addr = leaf.bucket_address(key)
+
+        # Access 1: version check — read the bucket's head item (and the
+        # bucket pointer itself, carried in the load0 response).
+        result = client.load0(bucket_addr, ITEM_BYTES)
+        head_ptr = result.pointer
+        item = _Item.parse(result.value)
+
+        if item.version == MOVED or (item.version not in (0, leaf.version)):
+            self._stale_refresh(client)
+            return self.put(client, key, value, _depth=_depth + 1)
+
+        # Walk the chain looking for an existing key (each hop: one read).
+        chain_len = 0
+        addr = head_ptr
+        probe = item if item.version != 0 else None
+        while probe is not None:
+            chain_len += 1
+            if probe.key == key:
+                # Access 2: in-place value update.
+                client.write_u64(addr + 2 * WORD, value)
+                self.stats.updates += 1
+                return
+            if probe.next == 0:
+                break
+            self.stats.chain_hops += 1
+            addr = probe.next
+            probe = _Item.parse(client.read(addr, ITEM_BYTES))
+
+        # New key: write the record, then CAS it in as the new chain head.
+        record = self.allocator.alloc(ITEM_BYTES, PlacementHint(near=leaf.table))
+        new_item = _Item(version=leaf.version, key=key, value=value, next=head_ptr)
+        client.write(record, new_item.encode())  # access 2
+        client.fence()  # the record must be visible before the CAS lands
+        while True:
+            old, ok = client.cas(bucket_addr, new_item.next, record)  # access 3
+            if ok:
+                break
+            # A concurrent insert won: re-link behind the new head.
+            self.stats.cas_retries += 1
+            new_item.next = old
+            client.write_u64(record + 3 * WORD, new_item.next)
+        self.stats.inserts += 1
+        self._item_count += 1
+
+        if chain_len + 1 > self.max_chain:
+            self._split(client, leaf)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, client: Client, key: int, *, _depth: int = 0) -> bool:
+        """Remove ``key``; True if it was present. Two far accesses when
+        the key is the chain head (read + CAS unlink)."""
+        self._check_key(key)
+        if _depth > 4:
+            raise StaleCacheError("HT-tree cache failed to converge after refreshes")
+        cache = self._cache(client)
+        leaf = cache.find_leaf(key)
+        client.touch_local(max(1, len(cache.uppers).bit_length()))
+        bucket_addr = leaf.bucket_address(key)
+
+        result = client.load0(bucket_addr, ITEM_BYTES)
+        head_ptr = result.pointer
+        item = _Item.parse(result.value)
+        if item.version == 0:
+            return False
+        if item.version == MOVED or item.version != leaf.version:
+            self._stale_refresh(client)
+            return self.delete(client, key, _depth=_depth + 1)
+
+        if item.key == key:
+            _, ok = client.cas(bucket_addr, head_ptr, item.next)
+            if not ok:
+                self.stats.cas_retries += 1
+                return self.delete(client, key, _depth=_depth + 1)
+            self._retire(head_ptr)
+            self.stats.deletes += 1
+            self._item_count -= 1
+            return True
+
+        prev_addr = head_ptr
+        addr = item.next
+        while addr != 0:
+            self.stats.chain_hops += 1
+            probe = _Item.parse(client.read(addr, ITEM_BYTES))
+            if probe.key == key:
+                client.write_u64(prev_addr + 3 * WORD, probe.next)
+                self._retire(addr)
+                self.stats.deletes += 1
+                self._item_count -= 1
+                return True
+            prev_addr = addr
+            addr = probe.next
+        return False
+
+    # ------------------------------------------------------------------
+    # Range scan
+    # ------------------------------------------------------------------
+
+    def scan(
+        self, client: Client, low: int, high: int, *, _depth: int = 0
+    ) -> list[tuple[int, int]]:
+        """All ``(key, value)`` pairs with ``low <= key <= high``, sorted.
+
+        The tree's leaves partition the key space by range, so a scan
+        touches only the tables whose ranges intersect ``[low, high]`` —
+        but each touched table is read wholesale (one bucket-array read
+        plus one gather per chain level) and filtered client-side: the
+        HT-tree trades scan granularity for its O(1) point lookups.
+        """
+        self._check_key(low)
+        self._check_key(high)
+        if low > high:
+            return []
+        if _depth > 4:
+            raise StaleCacheError("HT-tree cache failed to converge after refreshes")
+        cache = self._cache(client)
+        results: list[tuple[int, int]] = []
+        lower_bound = 0
+        for leaf in cache.leaves:
+            if leaf.upper < low:
+                lower_bound = leaf.upper + 1
+                continue
+            if lower_bound > high:
+                break
+            items, _ = self._read_all_items(client, leaf)
+            if any(item.version == MOVED for item in items):
+                self._stale_refresh(client)
+                return self.scan(client, low, high, _depth=_depth + 1)
+            for item in items:
+                if item.version != leaf.version:
+                    self._stale_refresh(client)
+                    return self.scan(client, low, high, _depth=_depth + 1)
+                if low <= item.key <= high:
+                    results.append((item.key, item.value))
+            lower_bound = leaf.upper + 1
+        results.sort()
+        self.stats.scans += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Split (section 5.2: "it is split and added to the tree, without
+    # affecting the other hash tables")
+    # ------------------------------------------------------------------
+
+    def _split(self, client: Client, leaf: _Leaf) -> None:
+        # Serialize splitters with the table's split lock.
+        _, ok = client.cas(leaf.table + WORD, 0, client.client_id + 1)
+        if not ok:
+            return  # someone else is splitting this table
+
+        # Re-read the tree under the lock: publishing a leaves array built
+        # from a stale cache would silently revert another table's split.
+        self._stale_refresh(client)
+        cache = self._caches[client.client_id]
+        current = next((l for l in cache.leaves if l.table == leaf.table), None)
+        if current is None:
+            # The table was already split out of the tree.
+            client.write_u64(leaf.table + WORD, 0)
+            return
+        leaf = current
+
+        items, old_records = self._read_all_items(client, leaf)
+        if not items:
+            client.write_u64(leaf.table + WORD, 0)
+            return
+
+        keys = sorted(item.key for item in items)
+        median = keys[len(keys) // 2]
+        lower_upper = max(median - 1, 0)
+        if lower_upper >= leaf.upper or median == 0:
+            # Degenerate key distribution: cannot split this range further.
+            client.write_u64(leaf.table + WORD, 0)
+            return
+
+        # The cache was refreshed under the split lock, so its version is
+        # the current published one.
+        new_version = cache.version + 1
+        low_table = self._build_table(
+            client, [i for i in items if i.key <= lower_upper], new_version
+        )
+        high_table = self._build_table(
+            client, [i for i in items if i.key > lower_upper], new_version
+        )
+
+        # Publish the new tree: fresh leaves array, then the header flip.
+        new_leaves: list[_Leaf] = []
+        for existing in cache.leaves:
+            if existing.table != leaf.table:
+                new_leaves.append(existing)
+                continue
+            new_leaves.append(
+                _Leaf(lower_upper, low_table, new_version, self.bucket_count)
+            )
+            new_leaves.append(
+                _Leaf(leaf.upper, high_table, new_version, self.bucket_count)
+            )
+        new_leaves.sort(key=lambda l: l.upper)
+        blob = b"".join(
+            encode_u64(l.upper) + encode_u64(l.table) + encode_u64(l.version) + encode_u64(l.buckets)
+            for l in new_leaves
+        )
+        region = self.allocator.alloc(len(blob))
+        client.write(region, blob)
+        client.fence()
+        client.write(
+            self.header,
+            encode_u64(new_version) + encode_u64(len(new_leaves)) + encode_u64(region),
+        )
+
+        # Tombstone the old table: every bucket points at a MOVED record,
+        # so stale caches detect the split in their single bucket access.
+        tombstone = self.allocator.alloc(ITEM_BYTES)
+        client.write(tombstone, _Item(MOVED, 0, 0, 0).encode())
+        client.write(
+            leaf.table + TABLE_HEADER_BYTES,
+            encode_u64(tombstone) * self.bucket_count,
+        )
+        client.write_u64(leaf.table, MOVED)
+
+        # Release the (old, now-tombstoned) table's split lock for hygiene.
+        client.write_u64(leaf.table + WORD, 0)
+
+        # Retire everything the new tree superseded: the old table, its
+        # item records, the previous leaves array, and (eventually) the
+        # tombstone itself — all reclaimed once every participant has
+        # quiesced past this epoch.
+        self._retire(leaf.table)
+        for record in old_records:
+            self._retire(record)
+        self._retire(cache.region)
+        self._retire(tombstone)
+        self.stats.splits += 1
+        self.stats.split_items_moved += len(items)
+        # The splitter's own cache is stale now; refresh it eagerly.
+        self._stale_refresh(client)
+
+    def _read_all_items(
+        self, client: Client, leaf: _Leaf
+    ) -> tuple[list[_Item], list[int]]:
+        """Bulk-read a table's contents: one read for the bucket array,
+        then one gather per chain level. Returns the decoded items and the
+        far addresses of their (to-be-retired) records."""
+        raw = client.read(leaf.table + TABLE_HEADER_BYTES, leaf.buckets * WORD)
+        pointers = [
+            decode_u64(raw[i * WORD : (i + 1) * WORD])
+            for i in range(leaf.buckets)
+        ]
+        items: list[_Item] = []
+        addresses: list[int] = []
+        level = [p for p in pointers if p != 0]
+        while level:
+            gathered = client.rgather([(p, ITEM_BYTES) for p in level])
+            next_level = []
+            for i, address in enumerate(level):
+                item = _Item.parse(gathered[i * ITEM_BYTES : (i + 1) * ITEM_BYTES])
+                items.append(item)
+                addresses.append(address)
+                if item.next != 0:
+                    next_level.append(item.next)
+            level = next_level
+        return items, addresses
+
+    def _build_table(self, client: Client, items: list[_Item], version: int) -> int:
+        """Materialise a fresh table holding ``items``: records written
+        with one scatter, buckets with one write.
+
+        Records are individual allocations (co-located with the table) so
+        that later deletes and splits can retire each one independently.
+        """
+        table = self._create_table(version)
+        if not items:
+            return table
+        near_table = PlacementHint(near=table)
+        records = [self.allocator.alloc(ITEM_BYTES, near_table) for _ in items]
+        buckets = [0] * self.bucket_count
+        blobs: list[bytes] = []
+        for addr, item in zip(records, items):
+            index = hash_u64(item.key) % self.bucket_count
+            linked = _Item(version, item.key, item.value, buckets[index])
+            buckets[index] = addr
+            blobs.append(linked.encode())
+        client.wscatter([(addr, ITEM_BYTES) for addr in records], b"".join(blobs))
+        client.write(
+            table + TABLE_HEADER_BYTES, b"".join(encode_u64(b) for b in buckets)
+        )
+        return table
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _retire(self, address: int) -> None:
+        """Defer-free an unlinked block via the reclaimer, or leak it
+        deliberately when no reclaimer was configured (safe, auditable via
+        allocator stats, and what short-lived deployments do)."""
+        if self.reclaimer is not None:
+            self.reclaimer.retire(address)
+
+    @staticmethod
+    def _check_key(key: int) -> None:
+        if not 0 <= key <= U64_MASK:
+            raise ValueError("keys must be unsigned 64-bit integers")
+
+    def __len__(self) -> int:
+        return self._item_count
+
+    def leaf_count(self) -> int:
+        """Current number of leaves (hash tables) in the published tree."""
+        fabric = self.allocator.fabric
+        return fabric.read_word(self.header + WORD)
+
+    def __repr__(self) -> str:
+        return (
+            f"HTTree(items={self._item_count}, buckets/table={self.bucket_count}, "
+            f"max_chain={self.max_chain}, cache_mode={self.cache_mode!r})"
+        )

@@ -1,0 +1,296 @@
+"""A far-memory naming registry.
+
+Far memory data structures are shared by construction, but sharing needs
+a rendezvous: a client that did not create a structure must be able to
+find its descriptor. The registry is itself a far-memory structure — an
+open-addressed table of ``(name hash, kind, descriptor-blob pointer)``
+entries claimed with CAS — so any client can register or look up by name
+with a handful of far accesses and no coordinator.
+
+Layout::
+
+    +0    capacity (word)
+    +8    entries[capacity] x 3 words: name_hash | kind | blob_ptr
+
+``name_hash`` 0 means free, 1 is a tombstone (probe chains continue past
+it; registration may reuse it). An entry becomes visible atomically: the
+hash word is CAS-claimed first, the kind/pointer pair is scattered after,
+and lookups treat a claimed-but-kindless entry as not-yet-registered.
+
+Descriptor codecs for the section 5 structures are provided
+(``register_counter`` / ``lookup_queue`` / ...); arbitrary structures can
+use the raw ``register`` / ``lookup`` with their own blob encoding. An
+attached structure is a fresh local view: far-memory contents are shared,
+per-object statistics and caches start empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..alloc import FarAllocator, PlacementHint
+from ..fabric.client import Client
+from ..fabric.errors import FabricError
+from ..fabric.wire import U64_MASK, WORD, decode_u64, encode_u64
+from ..notify.manager import NotificationManager
+from .counter import FarCounter
+from .ht_tree import HTTree
+from .queue import FarQueue
+from .vector import FarVector
+
+ENTRY_WORDS = 3
+FREE = 0
+TOMBSTONE = 1
+
+KIND_RAW = 1
+KIND_COUNTER = 2
+KIND_VECTOR = 3
+KIND_QUEUE = 4
+KIND_HTTREE = 5
+
+
+class RegistryError(FabricError):
+    """Name conflicts, capacity exhaustion, or kind mismatches."""
+
+
+def name_hash(name: str) -> int:
+    """FNV-1a (64-bit) of the UTF-8 name, remapped off the sentinels."""
+    h = 0xCBF29CE484222325
+    for byte in name.encode("utf-8"):
+        h = ((h ^ byte) * 0x100000001B3) & U64_MASK
+    if h in (FREE, TOMBSTONE):
+        h += 2
+    return h
+
+
+@dataclass
+class RegistryStats:
+    """Probe-depth and lifecycle accounting."""
+
+    registrations: int = 0
+    lookups: int = 0
+    probes: int = 0
+    unregistrations: int = 0
+
+
+@dataclass
+class FarRegistry:
+    """The shared name table."""
+
+    base: int
+    capacity: int
+    allocator: FarAllocator
+    stats: RegistryStats = field(default_factory=RegistryStats)
+
+    @classmethod
+    def create(
+        cls,
+        allocator: FarAllocator,
+        *,
+        capacity: int = 64,
+        hint: Optional[PlacementHint] = None,
+    ) -> "FarRegistry":
+        """Allocate an empty registry."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        size = WORD + capacity * ENTRY_WORDS * WORD
+        base = allocator.alloc(size, hint)
+        fabric = allocator.fabric
+        fabric.write(base, b"\x00" * size)
+        fabric.write_word(base, capacity)
+        return cls(base=base, capacity=capacity, allocator=allocator)
+
+    @classmethod
+    def attach(cls, allocator: FarAllocator, base: int, client: Client) -> "FarRegistry":
+        """Adopt a registry by its base address (one far access)."""
+        capacity = client.read_u64(base)
+        return cls(base=base, capacity=capacity, allocator=allocator)
+
+    def _entry_addr(self, slot: int) -> int:
+        return self.base + WORD + (slot % self.capacity) * ENTRY_WORDS * WORD
+
+    # ------------------------------------------------------------------
+    # Raw interface
+    # ------------------------------------------------------------------
+
+    def register(self, client: Client, name: str, kind: int, payload: bytes) -> None:
+        """Publish ``payload`` under ``name``.
+
+        Blob write + per-probe entry read + claim CAS + descriptor
+        scatter. Raises on duplicate names or a full table.
+        """
+        if kind <= 0:
+            raise RegistryError("kind must be positive")
+        blob = self.allocator.alloc(WORD + max(len(payload), 1))
+        client.write(blob, encode_u64(len(payload)) + payload)
+        client.fence()
+        h = name_hash(name)
+        for i in range(self.capacity):
+            self.stats.probes += 1
+            entry = self._entry_addr(h + i)
+            current = client.read_u64(entry)
+            if current == h:
+                self.allocator.free(blob)
+                raise RegistryError(f"name {name!r} already registered")
+            if current in (FREE, TOMBSTONE):
+                _, ok = client.cas(entry, current, h)
+                if not ok:
+                    continue  # lost the slot; keep probing
+                client.wscatter(
+                    [(entry + WORD, WORD), (entry + 2 * WORD, WORD)],
+                    encode_u64(kind) + encode_u64(blob),
+                )
+                self.stats.registrations += 1
+                return
+        self.allocator.free(blob)
+        raise RegistryError("registry full")
+
+    def lookup(self, client: Client, name: str) -> Optional[tuple[int, bytes]]:
+        """Resolve ``name`` to ``(kind, payload)``; None when absent.
+
+        One far access per probe slot plus the blob read.
+        """
+        self.stats.lookups += 1
+        h = name_hash(name)
+        for i in range(self.capacity):
+            self.stats.probes += 1
+            entry = self._entry_addr(h + i)
+            raw = client.read(entry, ENTRY_WORDS * WORD)
+            current = decode_u64(raw[:WORD])
+            if current == FREE:
+                return None
+            if current != h:
+                continue  # tombstone or another name: keep probing
+            kind = decode_u64(raw[WORD : 2 * WORD])
+            blob = decode_u64(raw[2 * WORD :])
+            if kind == 0:
+                return None  # registration in flight
+            length = client.read_u64(blob)
+            payload = client.read(blob + WORD, length) if length else b""
+            return kind, payload
+        return None
+
+    def unregister(self, client: Client, name: str) -> bool:
+        """Remove ``name`` (tombstoning its slot); True if it existed."""
+        h = name_hash(name)
+        for i in range(self.capacity):
+            entry = self._entry_addr(h + i)
+            current = client.read_u64(entry)
+            if current == FREE:
+                return False
+            if current != h:
+                continue
+            # Hide the descriptor first, then tombstone the hash.
+            client.write_u64(entry + WORD, 0)
+            client.fence()
+            client.write_u64(entry, TOMBSTONE)
+            self.stats.unregistrations += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Typed conveniences for the section 5 structures
+    # ------------------------------------------------------------------
+
+    def _expect(self, client: Client, name: str, kind: int) -> Optional[bytes]:
+        found = self.lookup(client, name)
+        if found is None:
+            return None
+        actual, payload = found
+        if actual != kind:
+            raise RegistryError(
+                f"{name!r} is registered with kind {actual}, expected {kind}"
+            )
+        return payload
+
+    def register_counter(self, client: Client, name: str, counter: FarCounter) -> None:
+        """Publish a far counter."""
+        self.register(client, name, KIND_COUNTER, encode_u64(counter.address))
+
+    def lookup_counter(self, client: Client, name: str) -> Optional[FarCounter]:
+        """Attach to a published counter."""
+        payload = self._expect(client, name, KIND_COUNTER)
+        if payload is None:
+            return None
+        return FarCounter(address=decode_u64(payload[:WORD]))
+
+    def register_vector(self, client: Client, name: str, vector: FarVector) -> None:
+        """Publish a far vector."""
+        self.register(
+            client,
+            name,
+            KIND_VECTOR,
+            encode_u64(vector.descriptor) + encode_u64(vector.length),
+        )
+
+    def lookup_vector(self, client: Client, name: str) -> Optional[FarVector]:
+        """Attach to a published vector."""
+        payload = self._expect(client, name, KIND_VECTOR)
+        if payload is None:
+            return None
+        return FarVector(
+            descriptor=decode_u64(payload[:WORD]), length=decode_u64(payload[WORD:16])
+        )
+
+    def register_queue(self, client: Client, name: str, queue: FarQueue) -> None:
+        """Publish a far queue (layout parameters travel in the blob)."""
+        payload = b"".join(
+            encode_u64(value)
+            for value in (
+                queue.head_addr,
+                queue.capacity,
+                queue.max_clients,
+                queue.clear_batch,
+                queue.slack_slots,
+                1 if queue.use_fsaai else 0,
+            )
+        )
+        self.register(client, name, KIND_QUEUE, payload)
+
+    def lookup_queue(self, client: Client, name: str) -> Optional[FarQueue]:
+        """Attach to a published queue."""
+        payload = self._expect(client, name, KIND_QUEUE)
+        if payload is None:
+            return None
+        words = [decode_u64(payload[i * 8 : (i + 1) * 8]) for i in range(6)]
+        return FarQueue(
+            self.allocator,
+            words[0],
+            words[1],
+            words[2],
+            clear_batch=words[3],
+            slack_slots=words[4],
+            use_fsaai=bool(words[5]),
+        )
+
+    def register_tree(self, client: Client, name: str, tree: HTTree) -> None:
+        """Publish an HT-tree."""
+        payload = b"".join(
+            encode_u64(value)
+            for value in (tree.header, tree.bucket_count, tree.max_chain)
+        )
+        self.register(client, name, KIND_HTTREE, payload)
+
+    def lookup_tree(
+        self,
+        client: Client,
+        name: str,
+        manager: NotificationManager,
+        *,
+        cache_mode: str = "version",
+    ) -> Optional[HTTree]:
+        """Attach to a published HT-tree (cache mode is a local choice)."""
+        payload = self._expect(client, name, KIND_HTTREE)
+        if payload is None:
+            return None
+        words = [decode_u64(payload[i * 8 : (i + 1) * 8]) for i in range(3)]
+        return HTTree(
+            self.allocator,
+            manager,
+            words[0],
+            bucket_count=words[1],
+            max_chain=words[2],
+            cache_mode=cache_mode,
+            table_hint_spread=True,
+        )

@@ -1,0 +1,99 @@
+"""Simulated far-memory fabric substrate.
+
+This package is the reproduction's stand-in for an RDMA / Gen-Z far-memory
+deployment (see DESIGN.md section 2 for the substitution argument). It
+provides memory nodes, address placement, the baseline one-sided
+operations and atomics, the paper's Fig. 1 extended primitives, a cost
+model, and exact per-client accounting.
+"""
+
+from .address import (
+    PAGE_SIZE,
+    InterleavedPlacement,
+    Location,
+    Placement,
+    RangePlacement,
+    page_of,
+    same_page,
+)
+from .client import Client
+from .errors import (
+    AddressError,
+    AlignmentError,
+    AllocationError,
+    ClientDeadError,
+    FabricError,
+    NodeUnavailableError,
+    ProtectionError,
+    QueueEmpty,
+    QueueFull,
+    RemoteIndirectionError,
+    RpcError,
+    StaleCacheError,
+)
+from .fabric import Fabric, FabricResult, IndirectionPolicy
+from .latency import CostModel, SimClock, Stopwatch
+from .memory_node import MemoryNode, NodeStats
+from .metrics import Metrics, aggregate
+from .primitives import FarIovec, PendingIndirection
+from .profile import ProfileRow, Profiler
+from .replication import ReplicatedRegion, ReplicationStats
+from .wire import (
+    U64_MASK,
+    WORD,
+    align_down,
+    align_up,
+    decode_u64,
+    encode_u64,
+    is_word_aligned,
+    to_signed,
+    wrap_add,
+)
+
+__all__ = [
+    "PAGE_SIZE",
+    "InterleavedPlacement",
+    "Location",
+    "Placement",
+    "RangePlacement",
+    "page_of",
+    "same_page",
+    "Client",
+    "AddressError",
+    "AlignmentError",
+    "AllocationError",
+    "ClientDeadError",
+    "NodeUnavailableError",
+    "FabricError",
+    "ProtectionError",
+    "QueueEmpty",
+    "QueueFull",
+    "RemoteIndirectionError",
+    "RpcError",
+    "StaleCacheError",
+    "Fabric",
+    "FabricResult",
+    "IndirectionPolicy",
+    "CostModel",
+    "SimClock",
+    "Stopwatch",
+    "MemoryNode",
+    "NodeStats",
+    "Metrics",
+    "aggregate",
+    "FarIovec",
+    "PendingIndirection",
+    "ProfileRow",
+    "Profiler",
+    "ReplicatedRegion",
+    "ReplicationStats",
+    "U64_MASK",
+    "WORD",
+    "align_down",
+    "align_up",
+    "decode_u64",
+    "encode_u64",
+    "is_word_aligned",
+    "to_signed",
+    "wrap_add",
+]

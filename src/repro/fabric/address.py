@@ -1,0 +1,171 @@
+"""Global far-memory address space and data placement.
+
+A far memory pool comprises one or more memory nodes (section 7.1 of the
+paper). The global byte-addressable address space is mapped onto node-local
+offsets by a :class:`Placement`. Two placements are provided, mirroring
+the paper's discussion of interleaving:
+
+* :class:`RangePlacement` — each node owns one contiguous address range
+  ("data structure-aware" placement is achieved by allocating within a
+  chosen node's range, see :mod:`repro.alloc`).
+* :class:`InterleavedPlacement` — addresses are striped round-robin across
+  nodes at a fixed granularity, "similar to interleaving in traditional
+  local memories", maximising aggregate bandwidth at the cost of breaking
+  locality for pointer-linked data.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from .errors import AddressError
+from .wire import WORD
+
+PAGE_SIZE = 4096
+"""Page size used for notification bookkeeping (section 4.3)."""
+
+
+@dataclass(frozen=True)
+class Location:
+    """A node-local location: which memory node, and the offset within it."""
+
+    node: int
+    offset: int
+
+
+class Placement(ABC):
+    """Maps the global address space onto (node, offset) pairs."""
+
+    def __init__(self, node_count: int, node_size: int) -> None:
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        if node_size <= 0 or node_size % PAGE_SIZE != 0:
+            raise ValueError("node_size must be a positive multiple of the page size")
+        self._node_count = node_count
+        self._node_size = node_size
+
+    @property
+    def node_count(self) -> int:
+        """Number of memory nodes in the pool."""
+        return self._node_count
+
+    @property
+    def node_size(self) -> int:
+        """Capacity in bytes of each memory node."""
+        return self._node_size
+
+    @property
+    def total_size(self) -> int:
+        """Total bytes of far memory across all nodes."""
+        return self._node_count * self._node_size
+
+    def check(self, address: int, length: int) -> None:
+        """Validate that ``[address, address + length)`` is inside the pool."""
+        if length < 0:
+            raise AddressError(address, length, "negative length")
+        if address < 0 or address + length > self.total_size:
+            raise AddressError(address, length, "outside the far memory pool")
+
+    @abstractmethod
+    def locate(self, address: int) -> Location:
+        """Return the (node, offset) holding global ``address``."""
+
+    @abstractmethod
+    def globalize(self, node: int, offset: int) -> int:
+        """Inverse of :meth:`locate`."""
+
+    @abstractmethod
+    def contiguous_extent(self, address: int) -> int:
+        """Bytes from ``address`` onward that live on the same node.
+
+        Transfers longer than this must be split into per-node segments.
+        """
+
+    def split(self, address: int, length: int) -> list[tuple[Location, int]]:
+        """Split a global range into per-node contiguous segments.
+
+        Returns ``[(location, segment_length), ...]`` in address order.
+        """
+        self.check(address, length)
+        segments: list[tuple[Location, int]] = []
+        cursor = address
+        remaining = length
+        while remaining > 0:
+            extent = min(self.contiguous_extent(cursor), remaining)
+            segments.append((self.locate(cursor), extent))
+            cursor += extent
+            remaining -= extent
+        return segments
+
+
+class RangePlacement(Placement):
+    """Node ``i`` owns the contiguous range ``[i * node_size, (i+1) * node_size)``."""
+
+    def locate(self, address: int) -> Location:
+        self.check(address, 1)
+        return Location(node=address // self._node_size, offset=address % self._node_size)
+
+    def globalize(self, node: int, offset: int) -> int:
+        if not 0 <= node < self._node_count:
+            raise AddressError(offset, 0, f"no such node {node}")
+        if not 0 <= offset < self._node_size:
+            raise AddressError(offset, 0, "offset outside node")
+        return node * self._node_size + offset
+
+    def contiguous_extent(self, address: int) -> int:
+        self.check(address, 1)
+        return self._node_size - (address % self._node_size)
+
+
+class InterleavedPlacement(Placement):
+    """Addresses striped round-robin across nodes at ``granularity`` bytes.
+
+    The granularity must be a multiple of the word size so that atomics
+    never straddle nodes, and a divisor of the node size.
+    """
+
+    def __init__(self, node_count: int, node_size: int, granularity: int = PAGE_SIZE) -> None:
+        super().__init__(node_count, node_size)
+        if granularity <= 0 or granularity % WORD != 0:
+            raise ValueError("granularity must be a positive multiple of the word size")
+        if node_size % granularity != 0:
+            raise ValueError("node_size must be a multiple of the granularity")
+        self._granularity = granularity
+
+    @property
+    def granularity(self) -> int:
+        """Stripe width in bytes."""
+        return self._granularity
+
+    def locate(self, address: int) -> Location:
+        self.check(address, 1)
+        stripe, within = divmod(address, self._granularity)
+        node = stripe % self._node_count
+        local_stripe = stripe // self._node_count
+        return Location(node=node, offset=local_stripe * self._granularity + within)
+
+    def globalize(self, node: int, offset: int) -> int:
+        if not 0 <= node < self._node_count:
+            raise AddressError(offset, 0, f"no such node {node}")
+        if not 0 <= offset < self._node_size:
+            raise AddressError(offset, 0, "offset outside node")
+        local_stripe, within = divmod(offset, self._granularity)
+        stripe = local_stripe * self._node_count + node
+        return stripe * self._granularity + within
+
+    def contiguous_extent(self, address: int) -> int:
+        self.check(address, 1)
+        return self._granularity - (address % self._granularity)
+
+
+def page_of(address: int) -> int:
+    """Page number containing ``address`` (global pages, for notifications)."""
+    return address // PAGE_SIZE
+
+
+def same_page(address: int, length: int) -> bool:
+    """True if ``[address, address + length)`` does not cross a page boundary."""
+    if length <= 0:
+        return True
+    return page_of(address) == page_of(address + length - 1)

@@ -1,0 +1,431 @@
+"""The client-side view of far memory: a NIC with accounting.
+
+A :class:`Client` is one "processor in the cluster" (section 1): it issues
+one-sided operations against the fabric, pays simulated latency on its own
+:class:`~repro.fabric.latency.SimClock`, and records exact operation
+counts in its :class:`~repro.fabric.metrics.Metrics`.
+
+Three facilities model real RDMA/Gen-Z NICs:
+
+* **Batch windows** (:meth:`batch`): operations issued inside a batch
+  overlap in time — the window costs ``max(op latencies) + issue
+  overhead`` instead of the sum. This models doorbell batching / multiple
+  outstanding work requests, and is how client-side scatter-gather is
+  implemented when the fabric lacks the Fig. 1 primitives.
+* **Fences** (:meth:`fence`): an ordering point — operations before the
+  fence complete before operations after it (section 2's memory-barrier
+  assumption, "provided using request completion queues").
+* **ERROR-policy completion**: when cross-node indirection is refused
+  (section 7.1), the client transparently completes the pending access
+  with a second, direct round trip — and the metrics show the cost.
+
+Clients also own a notification inbox; the notification subsystem
+(:mod:`repro.notify`) delivers into it and :meth:`poll_notifications`
+drains it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence
+
+from .errors import RemoteIndirectionError
+from .fabric import Fabric, FabricResult
+from .latency import SimClock
+from .metrics import Metrics
+from .primitives import FarIovec, PendingIndirection
+from .wire import WORD, decode_u64, encode_u64
+
+
+class Client:
+    """One compute-node client of the far memory pool."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        name: Optional[str] = None,
+        *,
+        auto_complete_indirection: bool = True,
+    ) -> None:
+        self.fabric = fabric
+        self.client_id = Client._next_id
+        Client._next_id += 1
+        self.name = name or f"client-{self.client_id}"
+        self.clock = SimClock()
+        self.metrics = Metrics()
+        self.auto_complete_indirection = auto_complete_indirection
+        self.alive = True
+        self._inbox: deque = deque()
+        self._batch_window: Optional[list[float]] = None
+
+    # ------------------------------------------------------------------
+    # Crash simulation (section 2: separate fault domains — a client
+    # failure leaves far memory intact)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this client: volatile state (inbox, batch window) is
+        lost, future operations raise, and any far-memory state it left
+        behind (held locks, queue claims, half-migrated items) stays put
+        for other clients to recover (:mod:`repro.recovery`)."""
+        self.alive = False
+        self._inbox.clear()
+        self._batch_window = None
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            from .errors import ClientDeadError
+
+            raise ClientDeadError(f"{self.name} has crashed")
+
+    # ------------------------------------------------------------------
+    # Time + accounting plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def cost_model(self):
+        """The fabric's cost model (shared by all clients)."""
+        return self.fabric.cost_model
+
+    def _advance(self, ns: float) -> None:
+        if self._batch_window is not None:
+            self._batch_window.append(ns)
+        else:
+            self.clock.advance(ns)
+
+    def _account_far(
+        self,
+        *,
+        nbytes_read: int = 0,
+        nbytes_written: int = 0,
+        forward_hops: int = 0,
+        segments: int = 1,
+        atomic: bool = False,
+    ) -> None:
+        m = self.metrics
+        m.far_accesses += 1
+        m.round_trips += 1
+        m.network_traversals += 2 * max(1, segments) + forward_hops
+        m.bytes_read += nbytes_read
+        m.bytes_written += nbytes_written
+        m.indirection_forwards += forward_hops
+        if atomic:
+            m.atomic_ops += 1
+        self._advance(
+            self.cost_model.far_access_ns(
+                nbytes_read + nbytes_written, forward_hops=forward_hops
+            )
+        )
+
+    def charge_far_access(
+        self, *, nbytes_read: int = 0, nbytes_written: int = 0
+    ) -> None:
+        """Charge this client for one far access performed on its behalf
+        by another subsystem (e.g. installing a notification subscription
+        at a memory node)."""
+        self._account_far(nbytes_read=nbytes_read, nbytes_written=nbytes_written)
+
+    def touch_local(self, count: int = 1) -> None:
+        """Charge ``count`` client-local (near) accesses — data structures
+        call this when they walk their caches (section 3: trading far
+        accesses for near accesses)."""
+        self.metrics.near_accesses += count
+        self.clock.advance(self.cost_model.near_access_ns(count))
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Overlap the operations issued inside the ``with`` block.
+
+        The block costs ``max(latencies) + (n - 1) * issue_ns`` of
+        simulated time; every operation is still counted individually in
+        the metrics (overlap hides latency, not work).
+        """
+        if self._batch_window is not None:
+            yield  # nested batches flatten into the outer window
+            return
+        self._batch_window = []
+        try:
+            yield
+        finally:
+            window, self._batch_window = self._batch_window, None
+            if window:
+                self.clock.advance(
+                    max(window) + (len(window) - 1) * self.cost_model.issue_ns
+                )
+
+    def fence(self) -> None:
+        """Ordering point: all prior operations complete before later ones.
+
+        Inside a batch window this closes the current overlap group;
+        outside one, operations are already synchronous so it only marks
+        intent (and is counted, for audit).
+        """
+        self.metrics.bump("fences")
+        if self._batch_window:
+            window = self._batch_window
+            self.clock.advance(max(window) + (len(window) - 1) * self.cost_model.issue_ns)
+            window.clear()
+
+    # ------------------------------------------------------------------
+    # Base one-sided operations
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """One-sided read: one far access."""
+        self._check_alive()
+        result = self.fabric.read(address, length)
+        self._account_far(nbytes_read=length, segments=result.segments)
+        return result.value
+
+    def write(self, address: int, data: bytes) -> None:
+        """One-sided write: one far access."""
+        self._check_alive()
+        result = self.fabric.write(address, bytes(data))
+        self._account_far(nbytes_written=len(data), segments=result.segments)
+
+    def read_u64(self, address: int) -> int:
+        """Read one 64-bit word (one far access)."""
+        self._check_alive()
+        value = self.fabric.read_word(address)
+        self._account_far(nbytes_read=WORD)
+        return value
+
+    def write_u64(self, address: int, value: int) -> None:
+        """Write one 64-bit word (one far access)."""
+        self._check_alive()
+        self.fabric.write_word(address, value)
+        self._account_far(nbytes_written=WORD)
+
+    def cas(self, address: int, expected: int, new: int) -> tuple[int, bool]:
+        """Atomic compare-and-swap (one far access)."""
+        self._check_alive()
+        old, ok = self.fabric.compare_and_swap(address, expected, new)
+        self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
+        return old, ok
+
+    def faa(self, address: int, delta: int) -> int:
+        """Atomic fetch-and-add (one far access); returns the old value."""
+        self._check_alive()
+        old = self.fabric.fetch_add(address, delta)
+        self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
+        return old
+
+    def swap(self, address: int, value: int) -> int:
+        """Atomic exchange (one far access); returns the old value."""
+        self._check_alive()
+        old = self.fabric.swap(address, value)
+        self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
+        return old
+
+    # ------------------------------------------------------------------
+    # Fig. 1 primitives, with ERROR-policy completion
+    # ------------------------------------------------------------------
+
+    def _complete_pending(self, pending: PendingIndirection) -> FabricResult:
+        """Finish an indirection the memory node refused (section 7.1:
+        "leaving it up to the compute node to explicitly issue a request
+        to the target memory node"). Costs one more far access."""
+        self.metrics.indirection_errors += 1
+        if pending.kind == "read":
+            data = self.read(pending.target, pending.length)
+            return FabricResult(value=data, pointer=pending.pointer)
+        if pending.kind == "write":
+            assert pending.payload is not None
+            self.write(pending.target, pending.payload)
+            return FabricResult(pointer=pending.pointer)
+        if pending.kind == "add":
+            old = self.faa(pending.target, pending.delta)
+            return FabricResult(value=old, pointer=pending.pointer)
+        if pending.kind == "swap":
+            assert pending.payload is not None
+            data = self.read(pending.target, pending.length)
+            self.write(pending.target, pending.payload)
+            return FabricResult(value=data, pointer=pending.pointer)
+        raise ValueError(f"unknown pending indirection kind {pending.kind!r}")
+
+    def _indirect(
+        self, op, *args, nbytes_read: int = 0, nbytes_written: int = 0
+    ) -> FabricResult:
+        self._check_alive()
+        try:
+            result = op(*args)
+        except RemoteIndirectionError as err:
+            # The failed attempt still cost a full round trip (the home
+            # node resolved the pointer, then bounced the request).
+            self._account_far(nbytes_read=WORD)
+            pending = getattr(err, "pending", None)
+            if pending is None or not self.auto_complete_indirection:
+                raise
+            return self._complete_pending(pending)
+        self._account_far(
+            nbytes_read=nbytes_read,
+            nbytes_written=nbytes_written,
+            forward_hops=result.forward_hops,
+            segments=result.segments,
+        )
+        return result
+
+    def load0(self, ad: int, length: int) -> FabricResult:
+        """Indirect load: read ``length`` bytes at ``*ad``."""
+        return self._indirect(self.fabric.load0, ad, length, nbytes_read=length)
+
+    def store0(self, ad: int, value: bytes) -> FabricResult:
+        """Indirect store: write ``value`` at ``*ad``."""
+        return self._indirect(self.fabric.store0, ad, value, nbytes_written=len(value))
+
+    def load1(self, ad: int, index: int, length: int) -> FabricResult:
+        """Indexed indirect load: read at ``*(ad + index)``."""
+        return self._indirect(self.fabric.load1, ad, index, length, nbytes_read=length)
+
+    def store1(self, ad: int, index: int, value: bytes) -> FabricResult:
+        """Indexed indirect store: write at ``*(ad + index)``."""
+        return self._indirect(
+            self.fabric.store1, ad, index, value, nbytes_written=len(value)
+        )
+
+    def load2(self, ad: int, index: int, length: int) -> FabricResult:
+        """Offset indirect load: read at ``*ad + index``."""
+        return self._indirect(self.fabric.load2, ad, index, length, nbytes_read=length)
+
+    def store2(self, ad: int, index: int, value: bytes) -> FabricResult:
+        """Offset indirect store: write at ``*ad + index``."""
+        return self._indirect(
+            self.fabric.store2, ad, index, value, nbytes_written=len(value)
+        )
+
+    def faai(self, ad: int, delta: int, length: int) -> FabricResult:
+        """Fetch-and-add-indirect (queue dequeue fast path, section 5.3)."""
+        result = self._indirect(
+            self.fabric.faai, ad, delta, length, nbytes_read=length + WORD
+        )
+        self.metrics.atomic_ops += 1
+        return result
+
+    def saai(self, ad: int, delta: int, value: bytes) -> FabricResult:
+        """Store-and-add-indirect (queue enqueue fast path, section 5.3)."""
+        result = self._indirect(
+            self.fabric.saai, ad, delta, value, nbytes_written=len(value) + WORD
+        )
+        self.metrics.atomic_ops += 1
+        return result
+
+    def fsaai(self, ad: int, delta: int, value: bytes) -> FabricResult:
+        """Fetch-store-and-add-indirect (the DESIGN.md extension): bump
+        ``*ad``, atomically swap ``value`` into the old target, and return
+        what was there — the fully-safe one-access dequeue."""
+        result = self._indirect(
+            self.fabric.fsaai,
+            ad,
+            delta,
+            value,
+            nbytes_read=len(value),
+            nbytes_written=len(value) + WORD,
+        )
+        self.metrics.atomic_ops += 1
+        return result
+
+    def add0(self, ad: int, delta: int) -> FabricResult:
+        """``**ad += delta`` in one far access."""
+        result = self._indirect(self.fabric.add0, ad, delta, nbytes_written=WORD)
+        self.metrics.atomic_ops += 1
+        return result
+
+    def add1(self, ad: int, delta: int, index: int) -> FabricResult:
+        """``**(ad + index) += delta`` in one far access."""
+        result = self._indirect(self.fabric.add1, ad, delta, index, nbytes_written=WORD)
+        self.metrics.atomic_ops += 1
+        return result
+
+    def add2(self, ad: int, delta: int, index: int) -> FabricResult:
+        """``*(*ad + index) += delta`` in one far access (histogram bump)."""
+        result = self._indirect(self.fabric.add2, ad, delta, index, nbytes_written=WORD)
+        self.metrics.atomic_ops += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Scatter / gather
+    # ------------------------------------------------------------------
+
+    def rscatter(self, ad: int, lengths: Sequence[int]) -> list[bytes]:
+        """Read a far range into local buffers: one far access."""
+        self._check_alive()
+        result = self.fabric.rscatter(ad, lengths)
+        self._account_far(nbytes_read=sum(lengths), segments=result.segments)
+        return result.value
+
+    def rgather(self, iovec: FarIovec) -> bytes:
+        """Read a far iovec into one local buffer: one far access."""
+        self._check_alive()
+        result = self.fabric.rgather(iovec)
+        self._account_far(
+            nbytes_read=sum(length for _, length in iovec), segments=result.segments
+        )
+        return result.value
+
+    def wscatter(self, iovec: FarIovec, data: bytes) -> None:
+        """Scatter a local buffer across a far iovec: one far access."""
+        self._check_alive()
+        result = self.fabric.wscatter(iovec, bytes(data))
+        self._account_far(nbytes_written=len(data), segments=result.segments)
+
+    def wgather(self, ad: int, buffers: Sequence[bytes]) -> None:
+        """Gather local buffers into one far range: one far access."""
+        self._check_alive()
+        result = self.fabric.wgather(ad, buffers)
+        self._account_far(
+            nbytes_written=sum(len(b) for b in buffers), segments=result.segments
+        )
+
+    # ------------------------------------------------------------------
+    # Word-value conveniences for the indirect primitives
+    # ------------------------------------------------------------------
+
+    def load0_u64(self, ad: int) -> int:
+        """Indirect load of one word, decoded."""
+        return decode_u64(self.load0(ad, WORD).value)
+
+    def load2_u64(self, ad: int, index: int) -> int:
+        """Offset indirect load of one word, decoded."""
+        return decode_u64(self.load2(ad, index, WORD).value)
+
+    def store0_u64(self, ad: int, value: int) -> None:
+        """Indirect store of one word."""
+        self.store0(ad, encode_u64(value))
+
+    def store2_u64(self, ad: int, index: int, value: int) -> None:
+        """Offset indirect store of one word."""
+        self.store2(ad, index, encode_u64(value))
+
+    # ------------------------------------------------------------------
+    # Notification inbox (filled by repro.notify)
+    # ------------------------------------------------------------------
+
+    def deliver(self, notification: Any) -> None:
+        """Called by the notification subsystem to push one notification."""
+        if not self.alive:
+            return  # messages to a dead process vanish with it
+        self.metrics.notifications_received += 1
+        self.metrics.notification_bytes += getattr(notification, "size_bytes", 0)
+        if getattr(notification, "is_loss_warning", False):
+            self.metrics.loss_warnings += 1
+        self._inbox.append(notification)
+
+    def pending_notifications(self) -> int:
+        """Number of undrained notifications."""
+        return len(self._inbox)
+
+    def poll_notifications(self, max_items: Optional[int] = None) -> list[Any]:
+        """Drain up to ``max_items`` notifications (near-memory cost only:
+        the whole point of notifications is avoiding far-memory probing)."""
+        out: list[Any] = []
+        while self._inbox and (max_items is None or len(out) < max_items):
+            out.append(self._inbox.popleft())
+        if out:
+            self.touch_local(len(out))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Client({self.name!r}, t={self.clock.now_ns:.0f}ns)"

@@ -1,0 +1,89 @@
+"""Typed error hierarchy for the simulated far-memory fabric.
+
+Errors mirror the failure modes a real RDMA / Gen-Z fabric surfaces to
+clients: bad addresses, protection faults, unsupported cross-node
+indirection (the "error" policy of section 7.1 of the paper), and
+misaligned atomics.
+"""
+
+from __future__ import annotations
+
+
+class FabricError(Exception):
+    """Base class for all errors raised by the simulated fabric."""
+
+
+class AddressError(FabricError):
+    """An address (or address + length) falls outside the mapped space."""
+
+    def __init__(self, address: int, length: int = 0, reason: str = "") -> None:
+        detail = f"address=0x{address:x} length={length}"
+        if reason:
+            detail = f"{detail}: {reason}"
+        super().__init__(detail)
+        self.address = address
+        self.length = length
+
+
+class AlignmentError(FabricError):
+    """An atomic or notification target is not word aligned."""
+
+
+class RemoteIndirectionError(FabricError):
+    """Memory-side indirection dereferenced a pointer on another node.
+
+    Raised only under ``IndirectionPolicy.ERROR`` (section 7.1): the memory
+    node refuses to forward and tells the client which node actually holds
+    the target, so the client can issue a direct request itself.
+    """
+
+    def __init__(self, pointer: int, home_node: int, target_node: int) -> None:
+        super().__init__(
+            f"pointer 0x{pointer:x} held by node {home_node} targets node "
+            f"{target_node}; indirection policy forbids forwarding"
+        )
+        self.pointer = pointer
+        self.home_node = home_node
+        self.target_node = target_node
+
+
+class ProtectionError(FabricError):
+    """Access touched an unallocated / freed region (allocator-enforced)."""
+
+
+class NodeUnavailableError(FabricError):
+    """The memory node holding the target address has failed.
+
+    Far memory has its own fault domain (section 2): a failed *client*
+    never raises this, only a failed memory node — and only for addresses
+    that node owns.
+    """
+
+    def __init__(self, node: int, address: int) -> None:
+        super().__init__(f"memory node {node} is unavailable (address 0x{address:x})")
+        self.node = node
+        self.address = address
+
+
+class ClientDeadError(FabricError):
+    """An operation was attempted through a crashed client."""
+
+
+class AllocationError(FabricError):
+    """The far-memory allocator could not satisfy a request."""
+
+
+class RpcError(FabricError):
+    """An RPC to a memory-side server failed."""
+
+
+class QueueEmpty(FabricError):
+    """A far queue dequeue found no item (after slow-path confirmation)."""
+
+
+class QueueFull(FabricError):
+    """A far queue enqueue found no free slot (after slow-path confirmation)."""
+
+
+class StaleCacheError(FabricError):
+    """A client cache entry was stale and could not be transparently refreshed."""

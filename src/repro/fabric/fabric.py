@@ -1,0 +1,226 @@
+"""The far-memory fabric: routing, base one-sided operations, indirection.
+
+The fabric ties together the memory nodes (:mod:`repro.fabric.memory_node`),
+a placement (:mod:`repro.fabric.address`), and the extended Fig. 1
+primitives (:mod:`repro.fabric.primitives`). It is the "memory side" of
+the simulator: everything here executes without any application processor,
+exactly the constraint the paper imposes on far memory (section 2).
+
+Cross-node indirection (section 7.1) is governed by
+:class:`IndirectionPolicy`:
+
+* ``FORWARD`` — the home node forwards the dereferenced request to the
+  node holding the target; the client still sees one round trip, the
+  fabric pays one extra traversal per forwarded segment.
+* ``ERROR`` — the home node refuses, raising
+  :class:`repro.fabric.errors.RemoteIndirectionError` which carries enough
+  state for the client to complete the indirection itself with a second,
+  direct round trip.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from .address import Location, Placement, RangePlacement
+from .errors import RemoteIndirectionError
+from .latency import CostModel
+from .memory_node import MemoryNode
+from .primitives import FarPrimitivesMixin
+from .wire import WORD
+
+
+class IndirectionPolicy(enum.Enum):
+    """How a memory node handles a dereferenced pointer on another node."""
+
+    FORWARD = "forward"
+    ERROR = "error"
+
+
+class Notifier(Protocol):
+    """Interface the notification subsystem presents to the fabric."""
+
+    def on_write(self, address: int, length: int, new_bytes: bytes) -> None:
+        """Called after every mutation of far memory, with global addresses."""
+
+
+@dataclass
+class FabricResult:
+    """Outcome of one memory-side operation, with routing facts attached.
+
+    Attributes:
+        value: operation result (``bytes`` for loads, ``int`` for atomics,
+            ``None`` for stores).
+        pointer: for indirect operations, the pointer value that was
+            dereferenced (clients use it, e.g., for queue slack checks).
+        forward_hops: memory-to-memory forwards taken (FORWARD policy).
+        segments: per-node segments touched by the data transfer.
+    """
+
+    value: Optional[object] = None
+    pointer: Optional[int] = None
+    forward_hops: int = 0
+    segments: int = 1
+
+
+class Fabric(FarPrimitivesMixin):
+    """A pool of far memory nodes behind a system interconnect."""
+
+    def __init__(
+        self,
+        placement: Optional[Placement] = None,
+        *,
+        node_count: int = 1,
+        node_size: int = 64 << 20,
+        cost_model: Optional[CostModel] = None,
+        indirection_policy: IndirectionPolicy = IndirectionPolicy.FORWARD,
+    ) -> None:
+        if placement is None:
+            placement = RangePlacement(node_count=node_count, node_size=node_size)
+        self.placement = placement
+        self.cost_model = cost_model or CostModel()
+        self.indirection_policy = indirection_policy
+        self.nodes = [
+            MemoryNode(node_id, placement.node_size)
+            for node_id in range(placement.node_count)
+        ]
+        self._notifier: Optional[Notifier] = None
+        self._failed_nodes: set[int] = set()
+        for node in self.nodes:
+            node.set_write_hook(self._on_node_write)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def total_size(self) -> int:
+        """Total far memory bytes in the pool."""
+        return self.placement.total_size
+
+    def set_notifier(self, notifier: Optional[Notifier]) -> None:
+        """Attach the notification subsystem (section 4.3)."""
+        self._notifier = notifier
+
+    def _on_node_write(self, node_id: int, offset: int, length: int, data: bytes) -> None:
+        if self._notifier is None:
+            return
+        address = self.placement.globalize(node_id, offset)
+        self._notifier.on_write(address, length, data)
+
+    # ------------------------------------------------------------------
+    # Fault injection (section 2: far memory is its own fault domain)
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Fail-stop one memory node: every access to addresses it owns
+        raises :class:`NodeUnavailableError` until :meth:`repair_node`.
+        Contents are retained across the outage (battery-backed /
+        persistent far memory), matching the availability argument of
+        section 2."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(f"no such node {node_id}")
+        self._failed_nodes.add(node_id)
+
+    def repair_node(self, node_id: int) -> None:
+        """Bring a failed node back (contents intact)."""
+        self._failed_nodes.discard(node_id)
+
+    def node_available(self, node_id: int) -> bool:
+        """True unless the node is currently failed."""
+        return node_id not in self._failed_nodes
+
+    def _node_for(self, location: Location, address: int) -> MemoryNode:
+        from .errors import NodeUnavailableError
+
+        if location.node in self._failed_nodes:
+            raise NodeUnavailableError(location.node, address)
+        return self.nodes[location.node]
+
+    def locate(self, address: int) -> Location:
+        """Resolve a global address to its (node, offset)."""
+        return self.placement.locate(address)
+
+    def node_of(self, address: int) -> int:
+        """Memory node id holding ``address``."""
+        return self.placement.locate(address).node
+
+    # ------------------------------------------------------------------
+    # Base one-sided operations (section 2: loads/stores/atomics)
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, length: int) -> FabricResult:
+        """One-sided read of a global range (split across nodes if striped)."""
+        pieces: list[bytes] = []
+        segments = self.placement.split(address, length)
+        for location, seg_len in segments:
+            node = self._node_for(
+                location, self.placement.globalize(location.node, location.offset)
+            )
+            pieces.append(node.read(location.offset, seg_len))
+        return FabricResult(value=b"".join(pieces), segments=max(1, len(segments)))
+
+    def write(self, address: int, data: bytes) -> FabricResult:
+        """One-sided write of a global range (split across nodes if striped)."""
+        segments = self.placement.split(address, len(data))
+        cursor = 0
+        for location, seg_len in segments:
+            node = self._node_for(
+                location, self.placement.globalize(location.node, location.offset)
+            )
+            node.write(location.offset, data[cursor : cursor + seg_len])
+            cursor += seg_len
+        return FabricResult(segments=max(1, len(segments)))
+
+    def read_word(self, address: int) -> int:
+        """Read one aligned word (always within a single node)."""
+        location = self.placement.locate(address)
+        return self._node_for(location, address).read_word(location.offset)
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write one aligned word."""
+        location = self.placement.locate(address)
+        self._node_for(location, address).write_word(location.offset, value)
+
+    def compare_and_swap(self, address: int, expected: int, new: int) -> tuple[int, bool]:
+        """Fabric-level atomic CAS on a word (section 2)."""
+        location = self.placement.locate(address)
+        return self._node_for(location, address).compare_and_swap(location.offset, expected, new)
+
+    def fetch_add(self, address: int, delta: int) -> int:
+        """Fabric-level atomic fetch-and-add on a word; returns old value."""
+        location = self.placement.locate(address)
+        return self._node_for(location, address).fetch_add(location.offset, delta)
+
+    def swap(self, address: int, value: int) -> int:
+        """Fabric-level atomic exchange on a word; returns old value."""
+        location = self.placement.locate(address)
+        return self._node_for(location, address).swap(location.offset, value)
+
+    # ------------------------------------------------------------------
+    # Indirection plumbing shared by the Fig. 1 primitives
+    # ------------------------------------------------------------------
+
+    def _indirection_hops(self, home_node: int, target: int, length: int) -> int:
+        """Forward hops needed to touch ``[target, target+length)`` from
+        ``home_node``, or raise under the ERROR policy."""
+        length = max(length, WORD)
+        segments = self.placement.split(target, length)
+        remote = sum(1 for location, _ in segments if location.node != home_node)
+        if remote == 0:
+            return 0
+        if self.indirection_policy is IndirectionPolicy.ERROR:
+            first_remote = next(
+                location.node for location, _ in segments if location.node != home_node
+            )
+            raise RemoteIndirectionError(target, home_node, first_remote)
+        return remote
+
+    def __repr__(self) -> str:
+        return (
+            f"Fabric(nodes={self.placement.node_count}, "
+            f"node_size={self.placement.node_size}, "
+            f"policy={self.indirection_policy.value})"
+        )

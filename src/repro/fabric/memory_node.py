@@ -1,0 +1,153 @@
+"""A single far-memory node.
+
+A memory node is "memory attached to the network": it stores bytes and
+executes, memory-side, the small fixed-function operations the fabric
+supports — reads, writes, and word atomics (compare-and-swap, fetch-add,
+swap), per section 2 of the paper. It has **no application processor**:
+anything beyond these operations (and the Fig. 1 extensions executed by
+:class:`repro.fabric.fabric.Fabric`) must be composed by clients from
+one-sided accesses.
+
+Atomics are executed atomically at the node ("atomicity at the fabric
+level, bypassing the processor caches"); in the simulator this is trivially
+true because each node applies operations sequentially.
+
+Every mutation invokes the node's write hook, which the fabric wires to
+the notification subsystem (section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .errors import AddressError, AlignmentError
+from .wire import WORD, decode_u64, encode_u64, wrap_add
+
+WriteHook = Callable[[int, int, int, bytes], None]
+"""Callback ``(node_id, offset, length, new_bytes)`` fired after a mutation."""
+
+
+@dataclass
+class NodeStats:
+    """Per-node operation counts (used by placement/striping benchmarks)."""
+
+    reads: int = 0
+    writes: int = 0
+    atomics: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def total_ops(self) -> int:
+        """All operations serviced by this node."""
+        return self.reads + self.writes + self.atomics
+
+
+class MemoryNode:
+    """One network-attached memory node holding ``size`` bytes."""
+
+    def __init__(self, node_id: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("node size must be positive")
+        self.node_id = node_id
+        self.size = size
+        self.stats = NodeStats()
+        self._data = bytearray(size)
+        self._write_hook: Optional[WriteHook] = None
+
+    def set_write_hook(self, hook: Optional[WriteHook]) -> None:
+        """Install the mutation callback (at most one; the fabric owns it)."""
+        self._write_hook = hook
+
+    def _check(self, offset: int, length: int) -> None:
+        if length < 0:
+            raise AddressError(offset, length, "negative length")
+        if offset < 0 or offset + length > self.size:
+            raise AddressError(offset, length, f"outside node {self.node_id}")
+
+    def _check_word(self, offset: int) -> None:
+        self._check(offset, WORD)
+        if offset % WORD != 0:
+            raise AlignmentError(f"word operation at unaligned offset 0x{offset:x}")
+
+    def _fire(self, offset: int, length: int) -> None:
+        if self._write_hook is not None and length > 0:
+            self._write_hook(
+                self.node_id, offset, length, bytes(self._data[offset : offset + length])
+            )
+
+    # ------------------------------------------------------------------
+    # Plain one-sided operations
+    # ------------------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        """One-sided read of ``length`` bytes at ``offset``."""
+        self._check(offset, length)
+        self.stats.reads += 1
+        self.stats.bytes_read += length
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """One-sided write of ``data`` at ``offset``."""
+        self._check(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self._fire(offset, len(data))
+
+    def read_word(self, offset: int) -> int:
+        """Read one aligned 64-bit word."""
+        self._check_word(offset)
+        self.stats.reads += 1
+        self.stats.bytes_read += WORD
+        return decode_u64(bytes(self._data[offset : offset + WORD]))
+
+    def write_word(self, offset: int, value: int) -> None:
+        """Write one aligned 64-bit word."""
+        self._check_word(offset)
+        self._data[offset : offset + WORD] = encode_u64(value)
+        self.stats.writes += 1
+        self.stats.bytes_written += WORD
+        self._fire(offset, WORD)
+
+    # ------------------------------------------------------------------
+    # Fabric-level atomics (section 2: CAS as in RDMA / Gen-Z)
+    # ------------------------------------------------------------------
+
+    def _peek_word(self, offset: int) -> int:
+        return decode_u64(bytes(self._data[offset : offset + WORD]))
+
+    def _poke_word(self, offset: int, value: int) -> None:
+        self._data[offset : offset + WORD] = encode_u64(value)
+
+    def compare_and_swap(self, offset: int, expected: int, new: int) -> tuple[int, bool]:
+        """Atomic CAS; returns ``(old_value, swapped)``."""
+        self._check_word(offset)
+        self.stats.atomics += 1
+        old = self._peek_word(offset)
+        if old == expected:
+            self._poke_word(offset, new)
+            self._fire(offset, WORD)
+            return old, True
+        return old, False
+
+    def fetch_add(self, offset: int, delta: int) -> int:
+        """Atomic fetch-and-add with 64-bit wraparound; returns old value."""
+        self._check_word(offset)
+        self.stats.atomics += 1
+        old = self._peek_word(offset)
+        self._poke_word(offset, wrap_add(old, delta))
+        self._fire(offset, WORD)
+        return old
+
+    def swap(self, offset: int, value: int) -> int:
+        """Atomic exchange; returns old value."""
+        self._check_word(offset)
+        self.stats.atomics += 1
+        old = self._peek_word(offset)
+        self._poke_word(offset, value)
+        self._fire(offset, WORD)
+        return old
+
+    def __repr__(self) -> str:
+        return f"MemoryNode(id={self.node_id}, size={self.size})"

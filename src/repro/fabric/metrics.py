@@ -1,0 +1,122 @@
+"""Exact operation accounting.
+
+The paper's key performance metric is the number of far memory accesses
+(section 3.1); its scalability discussion (section 7) additionally counts
+network traversals and notification traffic. :class:`Metrics` records all
+of these exactly — they are structural counts, not timing estimates — so
+benchmarks can report the same quantities the paper argues about.
+
+Terminology used throughout the reproduction:
+
+* **far access** — one client-initiated far memory operation (a read,
+  write, atomic, Fig. 1 primitive, or scatter/gather). Scatter-gather is
+  one far access even when it touches several buffers/nodes: the point of
+  the primitive (section 4.2) is combining transfers into one operation.
+* **round trip** — request/response exchanges as seen by the client. Equal
+  to far accesses for synchronous operations; an indirect access that hits
+  the ``ERROR`` policy (section 7.1) costs the client a second round trip.
+* **network traversal** — individual fabric link crossings: 2 per round
+  trip, plus 1 per memory-side forward hop. This is the quantity section
+  7.1 says forwarding reduces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Metrics:
+    """Mutable counter bundle attached to a client (or aggregated)."""
+
+    far_accesses: int = 0
+    round_trips: int = 0
+    network_traversals: int = 0
+    near_accesses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    atomic_ops: int = 0
+    indirection_forwards: int = 0
+    indirection_errors: int = 0
+    notifications_received: int = 0
+    notification_bytes: int = 0
+    loss_warnings: int = 0
+    rpcs: int = 0
+    rpc_bytes: int = 0
+    custom: Counter = field(default_factory=Counter)
+
+    _INT_FIELDS = (
+        "far_accesses",
+        "round_trips",
+        "network_traversals",
+        "near_accesses",
+        "bytes_read",
+        "bytes_written",
+        "atomic_ops",
+        "indirection_forwards",
+        "indirection_errors",
+        "notifications_received",
+        "notification_bytes",
+        "loss_warnings",
+        "rpcs",
+        "rpc_bytes",
+    )
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a free-form counter (used by data structures for
+        structure-specific events such as slow paths or cache misses)."""
+        self.custom[name] += amount
+
+    def snapshot(self) -> "Metrics":
+        """A frozen-in-time copy, for before/after deltas in benchmarks."""
+        copy = Metrics(**{name: getattr(self, name) for name in self._INT_FIELDS})
+        copy.custom = Counter(self.custom)
+        return copy
+
+    def delta(self, since: "Metrics") -> "Metrics":
+        """Counters accumulated since ``since`` (an earlier snapshot)."""
+        diff = Metrics(
+            **{
+                name: getattr(self, name) - getattr(since, name)
+                for name in self._INT_FIELDS
+            }
+        )
+        diff.custom = Counter(self.custom)
+        diff.custom.subtract(since.custom)
+        diff.custom = Counter({k: v for k, v in diff.custom.items() if v})
+        return diff
+
+    def merge(self, other: "Metrics") -> None:
+        """Add ``other``'s counters into this one (cluster-wide totals)."""
+        for name in self._INT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.custom.update(other.custom)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self._INT_FIELDS:
+            setattr(self, name, 0)
+        self.custom.clear()
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dict of all counters (custom counters prefixed ``custom.``)."""
+        out = {name: getattr(self, name) for name in self._INT_FIELDS}
+        for key, value in sorted(self.custom.items()):
+            out[f"custom.{key}"] = value
+        return out
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
+        return "Metrics(" + ", ".join(parts) + ")"
+
+
+def aggregate(metrics: list[Metrics]) -> Metrics:
+    """Sum a list of per-client metrics into one cluster-wide total."""
+    total = Metrics()
+    for m in metrics:
+        total.merge(m)
+    return total
+
+
+_ = fields  # re-exported for introspection convenience in tests

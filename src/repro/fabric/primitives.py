@@ -1,0 +1,332 @@
+"""The Fig. 1 extended far-memory primitives, executed memory-side.
+
+This module implements, verbatim, the primitive table of the paper
+(Figure 1): indirect addressing (``load0-2``, ``store0-2``), the
+pointer-bump atomics (``faai``, ``saai``), indirect adds (``add0-2``), and
+the four scatter/gather variants. Notifications (``notify0``, ``notifye``,
+``notify0d``) live in :mod:`repro.notify` because they are stateful
+subscriptions rather than one-shot operations.
+
+Semantics follow the figure's pseudo-code, with the prose of section 4.1
+resolving its abbreviations:
+
+========  =============================================================
+load0     ``tmp = *ad; return read(tmp, len)``
+store0    ``tmp = *ad; write(tmp, v)``
+load1     ``tmp = *(ad + i); return read(tmp, len)``
+store1    ``tmp = *(ad + i); write(tmp, v)``
+load2     ``tmp = *ad + i; return read(tmp, len)``
+store2    ``tmp = *ad + i; write(tmp, v)``
+faai      ``old = *ad; *ad += v; return (read(old, len), old)``
+saai      ``old = *ad; *ad += v; write(old, v')``
+add0      ``**ad += v``
+add1      ``*(*(ad + i)) += v``
+add2      ``*(*ad + i) += v``
+rscatter  read far range, scatter into local buffers
+rgather   read far iovec, gather into one local buffer
+wscatter  scatter one local buffer into a far iovec
+wgather   gather local buffers into one far range
+========  =============================================================
+
+All pointer words hold **global** far-memory addresses. When a
+dereferenced target lives on a different memory node than the pointer,
+the fabric's :class:`~repro.fabric.fabric.IndirectionPolicy` decides
+between forwarding (extra traversals, same round trip) and erroring
+(section 7.1). Under the error policy the raised
+:class:`~repro.fabric.errors.RemoteIndirectionError` carries a
+:class:`PendingIndirection` describing exactly what the client must do to
+complete the operation — note that for ``faai``/``saai`` the pointer bump
+has *already committed* at the home node by then, matching hardware that
+cannot roll back its local half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .errors import AddressError, RemoteIndirectionError
+from .wire import WORD
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .fabric import FabricResult
+
+
+@dataclass(frozen=True)
+class PendingIndirection:
+    """What remains to be done after a ``RemoteIndirectionError``.
+
+    Attributes:
+        kind: ``"read"``, ``"write"`` or ``"add"``.
+        target: global address the client must access directly.
+        length: bytes to read (``kind == "read"``).
+        payload: bytes to write (``kind == "write"``).
+        delta: value to fetch-add (``kind == "add"``).
+        pointer: the dereferenced pointer value (already resolved at the
+            home node; returned so clients can, e.g., run queue slack
+            checks without another far access).
+    """
+
+    kind: str
+    target: int
+    length: int = 0
+    payload: Optional[bytes] = None
+    delta: int = 0
+    pointer: int = 0
+
+
+FarIovec = Sequence[tuple[int, int]]
+"""A far-memory iovec: ``[(global_address, length), ...]``."""
+
+
+class FarPrimitivesMixin:
+    """Memory-side implementation of the Fig. 1 primitives.
+
+    Mixed into :class:`repro.fabric.fabric.Fabric`; relies on its base
+    routing operations (``read``/``write``/``read_word``/``fetch_add``/
+    ``_indirection_hops``/``placement``) and its ``FabricResult`` type.
+    """
+
+    # The mixin uses these attributes/methods from Fabric:
+    placement: object
+    # read/write/read_word/write_word/fetch_add defined by Fabric.
+
+    def _result(self, **kwargs) -> "FabricResult":
+        from .fabric import FabricResult
+
+        return FabricResult(**kwargs)
+
+    def _deref_or_pend(
+        self, home_node: int, pointer: int, pending: PendingIndirection
+    ) -> int:
+        """Count forward hops for an indirect target, or raise with the
+        pending completion attached (ERROR policy)."""
+        span = pending.length if pending.kind == "read" else (
+            len(pending.payload) if pending.payload is not None else WORD
+        )
+        try:
+            return self._indirection_hops(home_node, pending.target, max(span, 1))
+        except RemoteIndirectionError as err:
+            err.pending = pending  # type: ignore[attr-defined]
+            raise
+
+    def _segments_of(self, address: int, length: int) -> int:
+        return max(1, len(self.placement.split(address, max(length, 1))))
+
+    # ------------------------------------------------------------------
+    # Indirect loads / stores (section 4.1)
+    # ------------------------------------------------------------------
+
+    def load0(self, ad: int, length: int) -> "FabricResult":
+        """``tmp = *ad; return *tmp`` — dereference then read ``length`` bytes."""
+        home = self.node_of(ad)
+        pointer = self.read_word(ad)
+        pend = PendingIndirection("read", pointer, length=length, pointer=pointer)
+        hops = self._deref_or_pend(home, pointer, pend)
+        data = self.read(pointer, length).value
+        return self._result(
+            value=data,
+            pointer=pointer,
+            forward_hops=hops,
+            segments=self._segments_of(pointer, length),
+        )
+
+    def store0(self, ad: int, value: bytes) -> "FabricResult":
+        """``tmp = *ad; *tmp = v`` — dereference then write ``value``."""
+        home = self.node_of(ad)
+        pointer = self.read_word(ad)
+        pend = PendingIndirection("write", pointer, payload=bytes(value), pointer=pointer)
+        hops = self._deref_or_pend(home, pointer, pend)
+        self.write(pointer, bytes(value))
+        return self._result(
+            pointer=pointer,
+            forward_hops=hops,
+            segments=self._segments_of(pointer, len(value)),
+        )
+
+    def load1(self, ad: int, index: int, length: int) -> "FabricResult":
+        """``tmp = *(ad + i); return *tmp`` — indexed pointer, then read."""
+        return self.load0(ad + index, length)
+
+    def store1(self, ad: int, index: int, value: bytes) -> "FabricResult":
+        """``tmp = *(ad + i); *tmp = v`` — indexed pointer, then write."""
+        return self.store0(ad + index, value)
+
+    def load2(self, ad: int, index: int, length: int) -> "FabricResult":
+        """``tmp = *ad + i; return *tmp`` — dereference, offset, then read."""
+        home = self.node_of(ad)
+        pointer = self.read_word(ad)
+        target = pointer + index
+        pend = PendingIndirection("read", target, length=length, pointer=pointer)
+        hops = self._deref_or_pend(home, target, pend)
+        data = self.read(target, length).value
+        return self._result(
+            value=data,
+            pointer=pointer,
+            forward_hops=hops,
+            segments=self._segments_of(target, length),
+        )
+
+    def store2(self, ad: int, index: int, value: bytes) -> "FabricResult":
+        """``tmp = *ad + i; *tmp = v`` — dereference, offset, then write."""
+        home = self.node_of(ad)
+        pointer = self.read_word(ad)
+        target = pointer + index
+        pend = PendingIndirection("write", target, payload=bytes(value), pointer=pointer)
+        hops = self._deref_or_pend(home, target, pend)
+        self.write(target, bytes(value))
+        return self._result(
+            pointer=pointer,
+            forward_hops=hops,
+            segments=self._segments_of(target, len(value)),
+        )
+
+    # ------------------------------------------------------------------
+    # Pointer-bump atomics: the ``*ptr++`` idiom (section 4.1)
+    # ------------------------------------------------------------------
+
+    def faai(self, ad: int, delta: int, length: int) -> "FabricResult":
+        """Fetch-and-add-indirect: bump ``*ad`` by ``delta`` atomically,
+        return the ``length`` bytes pointed to by the *old* value.
+
+        Under the ERROR policy the pointer bump has already committed when
+        the error is raised; the pending completion is the data read.
+        """
+        home = self.node_of(ad)
+        old = self.fetch_add(ad, delta)
+        pend = PendingIndirection("read", old, length=length, pointer=old)
+        hops = self._deref_or_pend(home, old, pend)
+        data = self.read(old, length).value
+        return self._result(
+            value=data,
+            pointer=old,
+            forward_hops=hops,
+            segments=self._segments_of(old, length),
+        )
+
+    def saai(self, ad: int, delta: int, value: bytes) -> "FabricResult":
+        """Store-and-add-indirect: bump ``*ad`` by ``delta`` atomically,
+        store ``value`` at the *old* pointer value."""
+        home = self.node_of(ad)
+        old = self.fetch_add(ad, delta)
+        pend = PendingIndirection("write", old, payload=bytes(value), pointer=old)
+        hops = self._deref_or_pend(home, old, pend)
+        self.write(old, bytes(value))
+        return self._result(
+            pointer=old,
+            forward_hops=hops,
+            segments=self._segments_of(old, len(value)),
+        )
+
+    def fsaai(self, ad: int, delta: int, value: bytes) -> "FabricResult":
+        """Fetch-*store*-and-add-indirect: bump ``*ad`` by ``delta``
+        atomically, then atomically exchange the ``len(value)`` bytes at
+        the *old* pointer for ``value``, returning what was there.
+
+        **An extension beyond Fig. 1** (documented in DESIGN.md): ``faai``
+        and ``saai`` each do half of the ``*ptr++`` idiom — fetch *or*
+        store. The fused form is the same hardware complexity class (one
+        dereference, one memory transaction at the target) and is what a
+        fully-safe one-access MPMC dequeue needs: consuming a queue slot
+        and resetting it to the EMPTY sentinel in one atomic step removes
+        the deferred-clear hazard entirely.
+        """
+        home = self.node_of(ad)
+        old = self.fetch_add(ad, delta)
+        pend = PendingIndirection(
+            "swap", old, length=len(value), payload=bytes(value), pointer=old
+        )
+        hops = self._deref_or_pend(home, old, pend)
+        data = self.read(old, len(value)).value
+        self.write(old, bytes(value))
+        return self._result(
+            value=data,
+            pointer=old,
+            forward_hops=hops,
+            segments=self._segments_of(old, len(value)),
+        )
+
+    # ------------------------------------------------------------------
+    # Indirect adds (section 4.1: "add v to a value pointed to by a location")
+    # ------------------------------------------------------------------
+
+    def add0(self, ad: int, delta: int) -> "FabricResult":
+        """``**ad += v`` — atomic add at the word ``*ad`` points to."""
+        home = self.node_of(ad)
+        pointer = self.read_word(ad)
+        pend = PendingIndirection("add", pointer, delta=delta, pointer=pointer)
+        hops = self._deref_or_pend(home, pointer, pend)
+        old = self.fetch_add(pointer, delta)
+        return self._result(value=old, pointer=pointer, forward_hops=hops)
+
+    def add1(self, ad: int, delta: int, index: int) -> "FabricResult":
+        """``**(ad + i) += v`` — indexed pointer, then atomic add."""
+        return self.add0(ad + index, delta)
+
+    def add2(self, ad: int, delta: int, index: int) -> "FabricResult":
+        """``*(*ad + i) += v`` — dereference, offset, then atomic add.
+
+        This is the monitoring producer's histogram increment (section 6):
+        one far access bumps ``histogram_base[index]``.
+        """
+        home = self.node_of(ad)
+        pointer = self.read_word(ad)
+        target = pointer + index
+        pend = PendingIndirection("add", target, delta=delta, pointer=pointer)
+        hops = self._deref_or_pend(home, target, pend)
+        old = self.fetch_add(target, delta)
+        return self._result(value=old, pointer=pointer, forward_hops=hops)
+
+    # ------------------------------------------------------------------
+    # Scatter / gather (section 4.2)
+    # ------------------------------------------------------------------
+
+    def rscatter(self, ad: int, lengths: Sequence[int]) -> "FabricResult":
+        """Read the far range at ``ad``, scattering into local buffers of
+        the given ``lengths``. One far access regardless of buffer count."""
+        total = sum(lengths)
+        if any(n < 0 for n in lengths):
+            raise AddressError(ad, total, "negative buffer length")
+        data = self.read(ad, total).value
+        buffers: list[bytes] = []
+        cursor = 0
+        for n in lengths:
+            buffers.append(data[cursor : cursor + n])
+            cursor += n
+        return self._result(value=buffers, segments=self._segments_of(ad, total))
+
+    def rgather(self, iovec: FarIovec) -> "FabricResult":
+        """Read a far iovec, gathering into one local contiguous buffer.
+
+        The client adapter issues the per-buffer reads concurrently
+        (section 4.2), so the whole gather is one far access / round trip.
+        """
+        pieces: list[bytes] = []
+        segments = 0
+        for address, length in iovec:
+            pieces.append(self.read(address, length).value)
+            segments += self._segments_of(address, length)
+        return self._result(value=b"".join(pieces), segments=max(1, segments))
+
+    def wscatter(self, iovec: FarIovec, data: bytes) -> "FabricResult":
+        """Scatter one local buffer across a far iovec (one far access)."""
+        total = sum(length for _, length in iovec)
+        if total != len(data):
+            raise AddressError(
+                iovec[0][0] if iovec else 0,
+                len(data),
+                f"iovec wants {total} bytes, local buffer has {len(data)}",
+            )
+        cursor = 0
+        segments = 0
+        for address, length in iovec:
+            self.write(address, data[cursor : cursor + length])
+            segments += self._segments_of(address, length)
+            cursor += length
+        return self._result(segments=max(1, segments))
+
+    def wgather(self, ad: int, buffers: Sequence[bytes]) -> "FabricResult":
+        """Gather local buffers into one contiguous far range at ``ad``."""
+        data = b"".join(bytes(b) for b in buffers)
+        self.write(ad, data)
+        return self._result(segments=self._segments_of(ad, len(data)))

@@ -1,0 +1,100 @@
+"""Operation-level profiling over the exact metrics.
+
+The metrics counters say *how much* a client spent; the profiler says
+*on what*. Wrap logical operations in :meth:`Profiler.measure` and get a
+per-label ledger of far accesses, round trips, bytes, near accesses and
+simulated time — the same breakdown the paper's tables reason in, for any
+application code built on this library.
+
+Example::
+
+    profiler = Profiler()
+    with profiler.measure(client, "lookup"):
+        tree.get(client, key)
+    print(profiler.render())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .client import Client
+
+
+@dataclass
+class ProfileRow:
+    """Accumulated costs for one label."""
+
+    label: str
+    count: int = 0
+    far_accesses: int = 0
+    round_trips: int = 0
+    near_accesses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    notifications: int = 0
+    time_ns: float = 0.0
+
+    def far_per_op(self) -> float:
+        """Average far accesses per measured operation."""
+        return self.far_accesses / self.count if self.count else 0.0
+
+    def ns_per_op(self) -> float:
+        """Average simulated nanoseconds per measured operation."""
+        return self.time_ns / self.count if self.count else 0.0
+
+
+@dataclass
+class Profiler:
+    """A per-label cost ledger (reusable across clients)."""
+
+    rows: dict[str, ProfileRow] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, client: Client, label: str) -> Iterator[None]:
+        """Attribute everything ``client`` does inside the block to
+        ``label``. Nesting attributes costs to *both* labels."""
+        snapshot = client.metrics.snapshot()
+        start_ns = client.clock.now_ns
+        try:
+            yield
+        finally:
+            delta = client.metrics.delta(snapshot)
+            row = self.rows.setdefault(label, ProfileRow(label=label))
+            row.count += 1
+            row.far_accesses += delta.far_accesses
+            row.round_trips += delta.round_trips
+            row.near_accesses += delta.near_accesses
+            row.bytes_read += delta.bytes_read
+            row.bytes_written += delta.bytes_written
+            row.notifications += delta.notifications_received
+            row.time_ns += client.clock.now_ns - start_ns
+
+    def row(self, label: str) -> ProfileRow:
+        """The accumulated row for ``label`` (empty row if never measured)."""
+        return self.rows.get(label, ProfileRow(label=label))
+
+    def total_far_accesses(self) -> int:
+        """Far accesses across every label."""
+        return sum(row.far_accesses for row in self.rows.values())
+
+    def reset(self) -> None:
+        """Clear the ledger."""
+        self.rows.clear()
+
+    def render(self) -> str:
+        """A fixed-width text table, sorted by total simulated time."""
+        header = (
+            f"{'label':<24} {'count':>7} {'far/op':>8} {'ns/op':>10} "
+            f"{'B read':>10} {'B written':>10} {'notifs':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in sorted(self.rows.values(), key=lambda r: -r.time_ns):
+            lines.append(
+                f"{row.label:<24} {row.count:>7} {row.far_per_op():>8.2f} "
+                f"{row.ns_per_op():>10.1f} {row.bytes_read:>10} "
+                f"{row.bytes_written:>10} {row.notifications:>7}"
+            )
+        return "\n".join(lines)

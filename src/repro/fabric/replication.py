@@ -1,0 +1,147 @@
+"""Client-driven replication across memory-node fault domains.
+
+Section 2 credits far memory with "better availability due to separate
+fault domains for far memory" — per *node*. Data on a failed node is
+unavailable until repair, so availability across node failures needs
+replication, and with no memory-side processor the clients must drive it:
+
+* **writes** go to every replica in one ``wscatter`` (one far access,
+  section 4.2 — this is exactly the kind of multi-buffer transfer the
+  primitive exists for);
+* **reads** go to the primary replica and fail over to the next on
+  :class:`~repro.fabric.errors.NodeUnavailableError` (one extra far
+  access per dead replica tried).
+
+Scope: plain reads and writes only. Replicated *atomics* (a CAS that is
+atomic across copies) require consensus or a primary-backup commit
+protocol — memory-side hardware cannot provide them, which is why the
+paper's structures keep their atomically-updated words unreplicated and
+rely on the fault-domain argument (the word survives client crashes; a
+*node* loss of a lock word is an availability event handled by
+re-provisioning, not by this class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..fabric.client import Client
+from ..fabric.errors import AddressError, NodeUnavailableError
+from ..fabric.wire import WORD, decode_u64, encode_u64
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-init import cycle
+    from ..alloc import FarAllocator
+
+
+@dataclass
+class ReplicationStats:
+    """Read-path health accounting."""
+
+    writes: int = 0
+    reads: int = 0
+    failovers: int = 0
+
+
+@dataclass
+class ReplicatedRegion:
+    """One logical region stored on several memory nodes."""
+
+    replicas: list[int]
+    size: int
+    allocator: "FarAllocator"
+    stats: ReplicationStats = field(default_factory=ReplicationStats)
+
+    @classmethod
+    def create(
+        cls, allocator: "FarAllocator", size: int, *, copies: int = 2
+    ) -> "ReplicatedRegion":
+        """Allocate ``copies`` replicas, each on a different memory node.
+
+        Requires range placement (replicas must live in distinct fault
+        domains) and at least ``copies`` nodes.
+        """
+        from ..alloc import on_node  # deferred: avoids the import cycle
+
+        node_count = allocator.fabric.placement.node_count
+        if copies < 2:
+            raise ValueError("replication needs at least 2 copies")
+        if copies > node_count:
+            raise ValueError(
+                f"cannot place {copies} replicas on {node_count} node(s)"
+            )
+        replicas = [
+            allocator.alloc(size, on_node(node)) for node in range(copies)
+        ]
+        for replica in replicas:
+            allocator.fabric.write(replica, b"\x00" * size)
+        return cls(replicas=replicas, size=size, allocator=allocator)
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise AddressError(offset, length, "outside the replicated region")
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def write(self, client: Client, offset: int, data: bytes) -> None:
+        """Write-through to every replica: one ``wscatter``."""
+        self._check(offset, len(data))
+        client.wscatter(
+            [(replica + offset, len(data)) for replica in self.replicas],
+            data * len(self.replicas),
+        )
+        self.stats.writes += 1
+
+    def read(self, client: Client, offset: int, length: int) -> bytes:
+        """Read from the first live replica (failover on node failure)."""
+        self._check(offset, length)
+        self.stats.reads += 1
+        last_error: NodeUnavailableError | None = None
+        for replica in self.replicas:
+            try:
+                return client.read(replica + offset, length)
+            except NodeUnavailableError as err:
+                # The failed attempt still cost a (timed-out) round trip.
+                client.charge_far_access(nbytes_read=0)
+                self.stats.failovers += 1
+                last_error = err
+        assert last_error is not None
+        raise last_error  # every replica's node is down
+
+    def write_word(self, client: Client, offset: int, value: int) -> None:
+        """Replicated word write (one far access)."""
+        self.write(client, offset, encode_u64(value))
+
+    def read_word(self, client: Client, offset: int) -> int:
+        """Replicated word read with failover."""
+        return decode_u64(self.read(client, offset, WORD))
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def live_replicas(self) -> int:
+        """Replicas whose node is currently available (fabric-side view)."""
+        fabric = self.allocator.fabric
+        return sum(
+            1
+            for replica in self.replicas
+            if fabric.node_available(fabric.node_of(replica))
+        )
+
+    def resync(self, client: Client, repaired_index: int) -> None:
+        """Copy a live replica over a just-repaired one (one read + one
+        write), restoring full redundancy after a node outage."""
+        if not 0 <= repaired_index < len(self.replicas):
+            raise ValueError(f"no replica {repaired_index}")
+        fabric = self.allocator.fabric
+        source = next(
+            replica
+            for i, replica in enumerate(self.replicas)
+            if i != repaired_index
+            and fabric.node_available(fabric.node_of(replica))
+        )
+        data = client.read(source, self.size)
+        client.write(self.replicas[repaired_index], data)

@@ -1,0 +1,60 @@
+"""Word encoding helpers for the simulated fabric.
+
+The fabric is byte addressable, but pointers, versions, counters and the
+atomic operations all act on 64-bit little-endian words, matching the
+granularity of RDMA and Gen-Z atomics. All integer values stored in far
+memory are unsigned 64-bit; signed arithmetic (e.g. a negative delta to
+``fetch_add``) wraps modulo 2**64, exactly as hardware would.
+"""
+
+from __future__ import annotations
+
+WORD = 8
+"""Size in bytes of a fabric word (64 bits)."""
+
+U64_MASK = (1 << 64) - 1
+"""Mask applied to all word arithmetic (wraps like hardware)."""
+
+
+def encode_u64(value: int) -> bytes:
+    """Encode ``value`` (wrapped to unsigned 64-bit) as a little-endian word."""
+    return (value & U64_MASK).to_bytes(WORD, "little")
+
+
+def decode_u64(data: bytes) -> int:
+    """Decode a little-endian 64-bit word. ``data`` must be exactly 8 bytes."""
+    if len(data) != WORD:
+        raise ValueError(f"expected {WORD} bytes, got {len(data)}")
+    return int.from_bytes(data, "little")
+
+
+def to_signed(value: int) -> int:
+    """Reinterpret an unsigned 64-bit value as signed two's complement."""
+    value &= U64_MASK
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def wrap_add(a: int, b: int) -> int:
+    """Add two words with 64-bit wraparound (hardware add semantics)."""
+    return (a + b) & U64_MASK
+
+
+def is_word_aligned(address: int) -> bool:
+    """True if ``address`` is aligned to the fabric word size."""
+    return address % WORD == 0
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return value - (value % alignment)

@@ -1,0 +1,37 @@
+"""Far-memory notifications (paper sections 4.3 and 7.2).
+
+Subscriptions (``notify0`` / ``notifye`` / ``notify0d``), best-effort
+delivery policies (coalescing, random loss, spike suppression with loss
+warnings), publish-subscribe brokers, and subscription coarsening.
+"""
+
+from .broker import Broker, BrokerNetwork, BrokerStats
+from .coarsening import (
+    CoarsenedSubscriber,
+    CoarseningStats,
+    merge_ranges,
+    subscribe_coarsened,
+)
+from .delivery import RELIABLE, DeliveryEngine, DeliveryPolicy, DeliveryStats
+from .manager import ManagerStats, NotificationManager
+from .subscription import Notification, NotificationSink, NotifyKind, Subscription
+
+__all__ = [
+    "Broker",
+    "BrokerNetwork",
+    "BrokerStats",
+    "CoarsenedSubscriber",
+    "CoarseningStats",
+    "merge_ranges",
+    "subscribe_coarsened",
+    "RELIABLE",
+    "DeliveryEngine",
+    "DeliveryPolicy",
+    "DeliveryStats",
+    "ManagerStats",
+    "NotificationManager",
+    "Notification",
+    "NotificationSink",
+    "NotifyKind",
+    "Subscription",
+]

@@ -1,0 +1,140 @@
+"""Notification subscriptions and the notifications they produce.
+
+Section 4.3 of the paper proposes three notification primitives:
+
+* ``notify0(ad, l)`` — signal any change in ``[ad, ad + l)``.
+* ``notifye(ad, v, l)`` — signal when the word at ``ad`` becomes equal to
+  ``v`` (used for mutex release and barrier completion, section 5.1).
+* ``notify0d(ad, l)`` — like ``notify0`` but the notification carries the
+  changed data ("useful when data is small").
+
+For ease of hardware implementation the paper requires ``ad`` and ``l`` to
+be word-aligned and the range not to cross a page boundary, "so that the
+hardware can associate notifications with pages (e.g., record them in page
+table entries at the memory node)". We enforce exactly those constraints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol
+
+from ..fabric.address import same_page
+from ..fabric.errors import AlignmentError
+from ..fabric.wire import WORD
+
+
+class NotifyKind(enum.Enum):
+    """The three Fig. 1 notification primitives."""
+
+    NOTIFY0 = "notify0"
+    NOTIFYE = "notifye"
+    NOTIFY0D = "notify0d"
+
+
+class NotificationSink(Protocol):
+    """Anything that can receive notifications: a client NIC's inbox, or a
+    software broker (section 7.2)."""
+
+    def deliver(self, notification: "Notification") -> None:
+        """Accept one pushed notification."""
+
+
+@dataclass
+class Subscription:
+    """One registered interest in a far-memory range.
+
+    Attributes:
+        sub_id: unique id assigned by the manager.
+        subscriber: where matching notifications are pushed.
+        kind: which notify primitive this is.
+        address: start of the watched range (word aligned).
+        length: bytes watched (word multiple, within one page).
+        value: the match value for ``NOTIFYE``.
+        active: cleared by unsubscribe; inactive subscriptions never match.
+    """
+
+    sub_id: int
+    subscriber: NotificationSink
+    kind: NotifyKind
+    address: int
+    length: int
+    value: Optional[int] = None
+    active: bool = True
+    user_data: Any = None
+
+    def __post_init__(self) -> None:
+        if self.address % WORD != 0:
+            raise AlignmentError(
+                f"subscription address 0x{self.address:x} is not word aligned"
+            )
+        if self.length <= 0 or self.length % WORD != 0:
+            raise AlignmentError(
+                f"subscription length {self.length} is not a positive word multiple"
+            )
+        if not same_page(self.address, self.length):
+            raise AlignmentError(
+                f"subscription [{self.address:#x}, +{self.length}) crosses a page boundary"
+            )
+        if self.kind is NotifyKind.NOTIFYE:
+            if self.value is None:
+                raise ValueError("notifye subscriptions require a match value")
+            if self.length != WORD:
+                raise AlignmentError("notifye watches exactly one word")
+        elif self.value is not None:
+            raise ValueError(f"{self.kind.value} subscriptions take no match value")
+
+    @property
+    def end(self) -> int:
+        """One past the last watched byte."""
+        return self.address + self.length
+
+    def overlaps(self, address: int, length: int) -> bool:
+        """True if a write to ``[address, address+length)`` touches this range."""
+        return self.active and address < self.end and self.address < address + length
+
+
+@dataclass
+class Notification:
+    """One pushed notification message.
+
+    Notifications are best-effort (section 4.3): they may be coalesced
+    (``coalesced_count > 1``), dropped entirely, or replaced by a loss
+    warning (``is_loss_warning=True``) after a drop period — the section
+    7.2 traffic-spike mechanism. Data structures must tolerate all three.
+    """
+
+    sub_id: int
+    kind: NotifyKind
+    address: int
+    length: int
+    seq: int
+    data: Optional[bytes] = None
+    matched_value: Optional[int] = None
+    coalesced_count: int = 1
+    lost_count: int = 0
+    is_loss_warning: bool = False
+    is_false_positive: bool = False
+    user_data: Any = None
+
+    _HEADER_BYTES: int = field(default=32, repr=False)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of this notification message (header + payload)."""
+        return self._HEADER_BYTES + (len(self.data) if self.data else 0)
+
+    def __str__(self) -> str:
+        flags = []
+        if self.is_loss_warning:
+            flags.append("LOSS")
+        if self.is_false_positive:
+            flags.append("FP")
+        if self.coalesced_count > 1:
+            flags.append(f"x{self.coalesced_count}")
+        suffix = f" [{' '.join(flags)}]" if flags else ""
+        return (
+            f"Notification(sub={self.sub_id}, {self.kind.value}, "
+            f"addr=0x{self.address:x}+{self.length}, seq={self.seq}){suffix}"
+        )

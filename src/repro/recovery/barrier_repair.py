@@ -1,0 +1,48 @@
+"""Barrier repair after participant crashes.
+
+A far barrier (section 5.1) counts down arrivals; a crashed participant
+leaves the counter permanently above zero and every survivor blocked. The
+repair is a supervised decrement on the dead parties' behalf — safe only
+under fail-stop detection (the supervisor must know the client is dead,
+e.g. via the lease machinery in :mod:`repro.recovery.lease_mutex`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.barrier import BarrierError, FarBarrier
+from ..fabric.client import Client
+
+
+@dataclass
+class BarrierRepairReport:
+    """Outcome of one repair."""
+
+    decremented: int
+    completed: bool
+
+
+def arrive_for_dead(
+    barrier: FarBarrier, supervisor: Client, dead_count: int
+) -> BarrierRepairReport:
+    """Decrement the barrier on behalf of ``dead_count`` crashed
+    participants (one far access per decrement, so survivors' ``notifye``
+    subscriptions fire exactly as if the dead had arrived).
+
+    Raises :class:`BarrierError` if the repair would overshoot: that means
+    the "dead" clients were not actually missing arrivals.
+    """
+    if dead_count <= 0:
+        raise ValueError("dead_count must be positive")
+    remaining = supervisor.read_u64(barrier.address)
+    if dead_count > remaining:
+        raise BarrierError(
+            f"repairing {dead_count} arrivals but only {remaining} outstanding"
+        )
+    completed = False
+    for _ in range(dead_count):
+        old = supervisor.faa(barrier.address, -1)
+        if old == 1:
+            completed = True
+    return BarrierRepairReport(decremented=dead_count, completed=completed)

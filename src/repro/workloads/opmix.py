@@ -1,0 +1,90 @@
+"""Operation mixes: reproducible read/update/insert/delete streams."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .keydist import KeyDistribution
+
+
+class OpKind(enum.Enum):
+    """One map operation."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    DELETE = "delete"
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class Op:
+    """A single operation against a key-value structure.
+
+    For ``SCAN`` operations, ``key`` is the range start and ``value`` the
+    span (number of consecutive keys requested).
+    """
+
+    kind: OpKind
+    key: int
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Fractions of each operation kind (must sum to 1)."""
+
+    read: float = 0.90
+    update: float = 0.05
+    insert: float = 0.05
+    delete: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.delete
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix must sum to 1, got {total}")
+
+
+READ_ONLY = OperationMix(read=1.0, update=0.0, insert=0.0)
+READ_MOSTLY = OperationMix()
+WRITE_HEAVY = OperationMix(read=0.5, update=0.25, insert=0.25)
+
+
+def generate(
+    mix: OperationMix,
+    keys: KeyDistribution,
+    count: int,
+    *,
+    seed: int = 0,
+    fresh_keys: KeyDistribution | None = None,
+) -> Iterator[Op]:
+    """Yield ``count`` operations drawn from ``mix``.
+
+    ``keys`` drives read/update/delete targets; ``fresh_keys`` (defaults
+    to ``keys``) drives insert targets, letting benchmarks separate the
+    loaded key population from the growth population.
+    """
+    rng = np.random.default_rng(seed)
+    draws = rng.random(count)
+    key_batch = keys.sample(count)
+    fresh_batch = (fresh_keys or keys).sample(count)
+    values = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
+    thresholds = (
+        mix.read,
+        mix.read + mix.update,
+        mix.read + mix.update + mix.insert,
+    )
+    for i in range(count):
+        d = draws[i]
+        if d < thresholds[0]:
+            yield Op(OpKind.READ, int(key_batch[i]))
+        elif d < thresholds[1]:
+            yield Op(OpKind.UPDATE, int(key_batch[i]), int(values[i]))
+        elif d < thresholds[2]:
+            yield Op(OpKind.INSERT, int(fresh_batch[i]), int(values[i]))
+        else:
+            yield Op(OpKind.DELETE, int(key_batch[i]))

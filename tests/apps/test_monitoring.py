@@ -1,0 +1,227 @@
+"""Integration tests for the section 6 monitoring case study."""
+
+import pytest
+
+from repro import Cluster
+from repro.apps.monitoring import (
+    AlarmConsumer,
+    AlarmLevel,
+    FarHistogram,
+    MetricProducer,
+    NaiveConsumer,
+    NaiveMonitor,
+    NaiveProducer,
+    WindowedHistogramRing,
+)
+from repro.workloads import MetricStream
+
+NODE_SIZE = 32 << 20
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=1, node_size=NODE_SIZE)
+
+
+class TestFarHistogram:
+    def test_record_counts(self, cluster):
+        hist = FarHistogram.create(cluster.allocator, bins=10)
+        c = cluster.client()
+        for _ in range(3):
+            hist.record(c, 5)
+        hist.record(c, 9)
+        counts = hist.read_counts(c)
+        assert counts[5] == 3 and counts[9] == 1
+
+    def test_record_is_one_far_access(self, cluster):
+        hist = FarHistogram.create(cluster.allocator, bins=10)
+        c = cluster.client()
+        snapshot = c.metrics.snapshot()
+        hist.record(c, 3)
+        assert c.metrics.delta(snapshot).far_accesses == 1
+
+
+class TestWindowRing:
+    def test_advance_zeroes_new_window(self, cluster):
+        ring = WindowedHistogramRing.create(cluster.allocator, bins=10, window_count=3)
+        c = cluster.client()
+        ring.histogram.record(c, 1)
+        old_storage = ring.current_storage()
+        ring.advance(c)
+        assert ring.histogram.read_counts(c)[1] == 0  # fresh window
+        assert ring.read_window(c, old_storage)[1] == 1  # history kept
+
+    def test_ring_reuses_regions(self, cluster):
+        ring = WindowedHistogramRing.create(cluster.allocator, bins=4, window_count=2)
+        c = cluster.client()
+        first = ring.current_storage()
+        ring.advance(c)
+        ring.advance(c)
+        assert ring.current_storage() == first
+
+    def test_previous_storages(self, cluster):
+        ring = WindowedHistogramRing.create(cluster.allocator, bins=4, window_count=4)
+        c = cluster.client()
+        w0 = ring.current_storage()
+        ring.advance(c)
+        w1 = ring.current_storage()
+        ring.advance(c)
+        assert ring.previous_storages(2) == [w1, w0]
+        with pytest.raises(ValueError):
+            ring.previous_storages(4)
+
+    def test_ring_needs_two_windows(self, cluster):
+        with pytest.raises(ValueError):
+            WindowedHistogramRing.create(cluster.allocator, bins=4, window_count=1)
+
+
+class TestAlarms:
+    def _setup(self, cluster, levels=None):
+        ring = WindowedHistogramRing.create(cluster.allocator, bins=100, window_count=3)
+        producer = MetricProducer(ring=ring, client=cluster.client("prod"))
+        consumer = AlarmConsumer(
+            ring=ring,
+            manager=cluster.notifications,
+            client=cluster.client("cons"),
+            levels=levels or AlarmConsumer.levels,
+        )
+        consumer.start()
+        return ring, producer, consumer
+
+    def test_normal_samples_never_notify(self, cluster):
+        _, producer, consumer = self._setup(cluster)
+        for _ in range(100):
+            producer.record(40)  # normal range
+        assert consumer.poll() == []
+        assert consumer.client.metrics.notifications_received == 0
+
+    def test_tail_sample_raises_alarm(self, cluster):
+        _, producer, consumer = self._setup(cluster)
+        producer.record(97)  # critical band [95, 99)
+        alarms = consumer.poll()
+        assert [a.level for a in alarms] == ["critical"]
+
+    def test_min_events_duration(self, cluster):
+        levels = (AlarmLevel("warning", 90, 100, min_events=3),)
+        _, producer, consumer = self._setup(cluster, levels=levels)
+        producer.record(95)
+        producer.record(95)
+        assert consumer.poll() == []
+        producer.record(95)
+        assert [a.level for a in consumer.poll()] == ["warning"]
+
+    def test_alarm_state_resets_per_window(self, cluster):
+        levels = (AlarmLevel("failure", 99, 100),)
+        _, producer, consumer = self._setup(cluster, levels=levels)
+        producer.record(99)
+        assert len(consumer.poll()) == 1
+        producer.close_window()
+        producer.record(99)
+        alarms = consumer.poll()
+        assert len(alarms) == 1
+        assert alarms[0].window == 1
+
+    def test_copy_counts_option(self, cluster):
+        ring = WindowedHistogramRing.create(cluster.allocator, bins=100, window_count=2)
+        producer = MetricProducer(ring=ring, client=cluster.client())
+        consumer = AlarmConsumer(
+            ring=ring,
+            manager=cluster.notifications,
+            client=cluster.client(),
+            copy_counts=True,
+        )
+        consumer.start()
+        producer.record(99)
+        alarms = consumer.poll()
+        assert alarms[0].counts is not None
+        assert sum(alarms[0].counts) == 1
+
+    def test_multiple_consumers_different_thresholds(self, cluster):
+        ring = WindowedHistogramRing.create(cluster.allocator, bins=100, window_count=2)
+        producer = MetricProducer(ring=ring, client=cluster.client())
+        warn_only = AlarmConsumer(
+            ring=ring,
+            manager=cluster.notifications,
+            client=cluster.client(),
+            levels=(AlarmLevel("warning", 90, 95),),
+        )
+        fail_only = AlarmConsumer(
+            ring=ring,
+            manager=cluster.notifications,
+            client=cluster.client(),
+            levels=(AlarmLevel("failure", 99, 100),),
+        )
+        warn_only.start()
+        fail_only.start()
+        producer.record(92)
+        assert [a.level for a in warn_only.poll()] == ["warning"]
+        assert fail_only.poll() == []
+
+    def test_correlate_windows(self, cluster):
+        _, producer, consumer = self._setup(cluster)
+        producer.record(95)
+        producer.close_window()
+        producer.record(95)
+        producer.record(96)
+        producer.close_window()
+        consumer.poll()
+        assert consumer.correlate_windows(2) == [2, 1]
+
+    def test_stop_silences(self, cluster):
+        _, producer, consumer = self._setup(cluster)
+        consumer.stop()
+        producer.record(99)
+        assert consumer.poll() == []
+
+
+class TestTrafficFormula:
+    """The headline claim: (k+1)N naive vs N + m with histograms."""
+
+    N = 1500
+    K = 3
+
+    def _stream(self):
+        return MetricStream(bins=100, spike_probability=0.01, seed=11).samples(self.N)
+
+    def test_naive_is_k_plus_1_N(self, cluster):
+        samples = self._stream()
+        monitor = NaiveMonitor.create(cluster.allocator, capacity=self.N)
+        producer = NaiveProducer(monitor=monitor, client=cluster.client())
+        consumers = [
+            NaiveConsumer(monitor=monitor, client=cluster.client())
+            for _ in range(self.K)
+        ]
+        producer.run(samples)
+        for consumer in consumers:
+            consumer.poll()
+        total = producer.client.metrics.far_accesses + sum(
+            c.client.metrics.far_accesses for c in consumers
+        )
+        # (k+1)N sample transfers plus one count-poll per consumer.
+        assert total == (self.K + 1) * self.N + self.K
+
+    def test_histogram_design_is_N_plus_m(self, cluster):
+        samples = self._stream()
+        ring = WindowedHistogramRing.create(cluster.allocator, bins=100, window_count=3)
+        producer = MetricProducer(ring=ring, client=cluster.client())
+        consumers = [
+            AlarmConsumer(
+                ring=ring, manager=cluster.notifications, client=cluster.client()
+            )
+            for _ in range(self.K)
+        ]
+        for consumer in consumers:
+            consumer.start()
+        producer.run(samples, samples_per_window=500)
+        for consumer in consumers:
+            consumer.poll()
+        producer_far = producer.client.metrics.far_accesses
+        m = sum(c.client.metrics.notifications_received for c in consumers)
+        consumer_far = sum(c.client.metrics.far_accesses for c in consumers)
+        assert producer_far <= self.N + 2 * 3 + 1  # N + window rotations
+        assert m < self.N * 0.15  # m << N
+        # Consumers barely touch far memory (subscriptions only).
+        assert consumer_far < 0.1 * self.K * self.N
+        naive_total = (self.K + 1) * self.N
+        optimized_total = producer_far + consumer_far + m
+        assert optimized_total < naive_total / 2

@@ -1,0 +1,108 @@
+"""Unit tests for the linked-list and skip-list strawmen."""
+
+import pytest
+
+from repro import Cluster
+from repro.baselines import FarLinkedList, FarSkipList
+
+NODE_SIZE = 8 << 20
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=1, node_size=NODE_SIZE)
+
+
+class TestLinkedList:
+    def test_push_get(self, cluster):
+        lst = FarLinkedList.create(cluster.allocator)
+        c = cluster.client()
+        lst.push_front(c, 1, 10)
+        lst.push_front(c, 2, 20)
+        assert lst.get(c, 1) == 10
+        assert lst.get(c, 2) == 20
+        assert lst.get(c, 3) is None
+        assert len(lst) == 2
+
+    def test_items_in_lifo_order(self, cluster):
+        lst = FarLinkedList.create(cluster.allocator)
+        c = cluster.client()
+        for k in range(5):
+            lst.push_front(c, k, k)
+        assert [k for k, _ in lst.items(c)] == [4, 3, 2, 1, 0]
+
+    def test_lookup_cost_is_linear(self, cluster):
+        lst = FarLinkedList.create(cluster.allocator)
+        c = cluster.client()
+        for k in range(50):
+            lst.push_front(c, k, k)
+        snapshot = c.metrics.snapshot()
+        lst.get(c, 0)  # deepest element
+        # Head read + 50 hops: the O(n) strawman of section 1.
+        assert c.metrics.delta(snapshot).far_accesses == 51
+
+    def test_push_is_constant_cost(self, cluster):
+        lst = FarLinkedList.create(cluster.allocator)
+        c = cluster.client()
+        for k in range(20):
+            lst.push_front(c, k, k)
+        snapshot = c.metrics.snapshot()
+        lst.push_front(c, 99, 99)
+        assert c.metrics.delta(snapshot).far_accesses == 3  # read+write+CAS
+
+
+class TestSkipList:
+    def test_put_get(self, cluster):
+        sl = FarSkipList.create(cluster.allocator, seed=1)
+        c = cluster.client()
+        sl.put(c, 10, 100)
+        sl.put(c, 5, 50)
+        sl.put(c, 20, 200)
+        assert sl.get(c, 10) == 100
+        assert sl.get(c, 5) == 50
+        assert sl.get(c, 20) == 200
+        assert sl.get(c, 15) is None
+
+    def test_update(self, cluster):
+        sl = FarSkipList.create(cluster.allocator, seed=1)
+        c = cluster.client()
+        sl.put(c, 10, 1)
+        sl.put(c, 10, 2)
+        assert sl.get(c, 10) == 2
+        assert len(sl) == 1
+
+    def test_many_keys(self, cluster):
+        import random
+
+        sl = FarSkipList.create(cluster.allocator, seed=7)
+        c = cluster.client()
+        keys = random.Random(0).sample(range(100_000), 300)
+        for k in keys:
+            sl.put(c, k, k ^ 0xFF)
+        for k in keys:
+            assert sl.get(c, k) == k ^ 0xFF
+
+    def test_lookup_cost_is_logarithmic(self, cluster):
+        import random
+
+        sl = FarSkipList.create(cluster.allocator, seed=3)
+        c = cluster.client()
+        keys = random.Random(1).sample(range(1_000_000), 500)
+        for k in keys:
+            sl.put(c, k, 1)
+        target = sorted(keys)[250]
+        snapshot = c.metrics.snapshot()
+        sl.get(c, target)
+        cost = c.metrics.delta(snapshot).far_accesses
+        # O(log n) far accesses: far below a linear scan, above 1.
+        assert 2 <= cost < 100
+
+    def test_deterministic_with_seed(self, cluster):
+        results = []
+        for _ in range(2):
+            sl = FarSkipList.create(cluster.allocator, seed=9)
+            c = cluster.client()
+            for k in range(50):
+                sl.put(c, k, k)
+            results.append(sl.stats.node_reads)
+        assert results[0] == results[1]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster
+from repro.fabric import Client, CostModel, Fabric, IndirectionPolicy, InterleavedPlacement, RangePlacement
+
+NODE_SIZE = 8 << 20  # 8 MiB per node keeps tests fast
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A single-node cluster with reliable notifications."""
+    return Cluster(node_count=1, node_size=NODE_SIZE)
+
+
+@pytest.fixture
+def cluster2() -> Cluster:
+    """A two-node, range-placed cluster."""
+    return Cluster(node_count=2, node_size=NODE_SIZE)
+
+
+@pytest.fixture
+def striped_cluster() -> Cluster:
+    """A four-node cluster with page-interleaved placement."""
+    return Cluster(node_count=4, node_size=NODE_SIZE, interleaved=True)
+
+
+@pytest.fixture
+def client(cluster: Cluster) -> Client:
+    return cluster.client()
+
+
+@pytest.fixture
+def fabric() -> Fabric:
+    return Fabric(RangePlacement(node_count=2, node_size=NODE_SIZE))
+
+
+@pytest.fixture
+def striped_fabric() -> Fabric:
+    return Fabric(
+        InterleavedPlacement(node_count=4, node_size=NODE_SIZE, granularity=4096)
+    )
+
+
+@pytest.fixture
+def error_policy_cluster() -> Cluster:
+    """Two nodes with the section 7.1 ERROR indirection policy."""
+    return Cluster(
+        node_count=2,
+        node_size=NODE_SIZE,
+        indirection_policy=IndirectionPolicy.ERROR,
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration/stress tests"
+    )

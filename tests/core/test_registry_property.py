@@ -1,0 +1,79 @@
+"""Property-based tests: the registry against a model dict.
+
+Open addressing with tombstones is classically easy to get wrong (probe
+chains broken by deletion, slot reuse aliasing); hypothesis drives random
+register/unregister/lookup sequences and requires dict semantics
+throughout, plus structural invariants at the end.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+from repro.core.registry import FarRegistry, RegistryError
+
+NODE_SIZE = 8 << 20
+
+# A small name pool forces collisions and slot reuse.
+names = st.sampled_from([f"svc-{i}" for i in range(12)])
+
+scripts = st.lists(
+    st.one_of(
+        st.tuples(st.just("register"), names, st.binary(min_size=0, max_size=16)),
+        st.tuples(st.just("unregister"), names, st.just(b"")),
+        st.tuples(st.just("lookup"), names, st.just(b"")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestRegistryModel:
+    @settings(max_examples=40, deadline=None)
+    @given(scripts)
+    def test_matches_model_dict(self, script):
+        cluster = Cluster(node_count=1, node_size=NODE_SIZE)
+        registry = cluster.registry(capacity=16)
+        client = cluster.client()
+        model: dict[str, bytes] = {}
+        for op, name, payload in script:
+            if op == "register":
+                if name in model:
+                    with pytest.raises(RegistryError):
+                        registry.register(client, name, 1, payload)
+                else:
+                    registry.register(client, name, 1, payload)
+                    model[name] = payload
+            elif op == "unregister":
+                assert registry.unregister(client, name) == (name in model)
+                model.pop(name, None)
+            else:
+                found = registry.lookup(client, name)
+                if name in model:
+                    assert found == (1, model[name])
+                else:
+                    assert found is None
+        # Final coherence: every model entry resolvable, nothing extra.
+        for name, payload in model.items():
+            assert registry.lookup(client, name) == (1, payload)
+        for name in (f"svc-{i}" for i in range(12)):
+            if name not in model:
+                assert registry.lookup(client, name) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=16))
+    def test_fill_drain_refill(self, count):
+        # Registering, draining, and refilling must always succeed within
+        # capacity — tombstones must not permanently consume slots.
+        cluster = Cluster(node_count=1, node_size=NODE_SIZE)
+        registry = cluster.registry(capacity=16)
+        client = cluster.client()
+        for round_ in range(3):
+            chosen = [f"n{round_}-{i}" for i in range(count)]
+            for name in chosen:
+                registry.register(client, name, 1, name.encode())
+            for name in chosen:
+                assert registry.lookup(client, name) == (1, name.encode())
+            for name in chosen:
+                assert registry.unregister(client, name)

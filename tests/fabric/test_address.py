@@ -1,0 +1,157 @@
+"""Unit + property tests for the address space and placements."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.address import (
+    PAGE_SIZE,
+    InterleavedPlacement,
+    RangePlacement,
+    page_of,
+    same_page,
+)
+from repro.fabric.errors import AddressError
+
+NODE_SIZE = 1 << 20
+
+
+class TestRangePlacement:
+    def setup_method(self):
+        self.placement = RangePlacement(node_count=4, node_size=NODE_SIZE)
+
+    def test_total_size(self):
+        assert self.placement.total_size == 4 * NODE_SIZE
+
+    def test_locate_first_node(self):
+        loc = self.placement.locate(100)
+        assert (loc.node, loc.offset) == (0, 100)
+
+    def test_locate_boundary(self):
+        loc = self.placement.locate(NODE_SIZE)
+        assert (loc.node, loc.offset) == (1, 0)
+
+    def test_globalize_inverse(self):
+        addr = 3 * NODE_SIZE + 17
+        loc = self.placement.locate(addr)
+        assert self.placement.globalize(loc.node, loc.offset) == addr
+
+    def test_contiguous_extent(self):
+        assert self.placement.contiguous_extent(0) == NODE_SIZE
+        assert self.placement.contiguous_extent(NODE_SIZE - 8) == 8
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            self.placement.locate(4 * NODE_SIZE)
+        with pytest.raises(AddressError):
+            self.placement.check(-1, 8)
+
+    def test_split_single_segment(self):
+        segments = self.placement.split(10, 100)
+        assert len(segments) == 1
+        assert segments[0][1] == 100
+
+    def test_split_across_nodes(self):
+        segments = self.placement.split(NODE_SIZE - 10, 30)
+        assert len(segments) == 2
+        assert segments[0][1] == 10
+        assert segments[1][1] == 20
+        assert segments[0][0].node == 0
+        assert segments[1][0].node == 1
+
+    def test_globalize_validates(self):
+        with pytest.raises(AddressError):
+            self.placement.globalize(9, 0)
+        with pytest.raises(AddressError):
+            self.placement.globalize(0, NODE_SIZE)
+
+    @given(st.integers(min_value=0, max_value=4 * NODE_SIZE - 1))
+    def test_locate_globalize_roundtrip(self, addr):
+        loc = self.placement.locate(addr)
+        assert self.placement.globalize(loc.node, loc.offset) == addr
+
+
+class TestInterleavedPlacement:
+    def setup_method(self):
+        self.placement = InterleavedPlacement(
+            node_count=4, node_size=NODE_SIZE, granularity=4096
+        )
+
+    def test_round_robin_stripes(self):
+        assert self.placement.locate(0).node == 0
+        assert self.placement.locate(4096).node == 1
+        assert self.placement.locate(2 * 4096).node == 2
+        assert self.placement.locate(4 * 4096).node == 0
+
+    def test_within_stripe_offset(self):
+        loc = self.placement.locate(4096 + 100)
+        assert loc.node == 1
+        assert loc.offset == 100
+
+    def test_second_lap_offsets(self):
+        loc = self.placement.locate(4 * 4096 + 7)
+        assert loc.node == 0
+        assert loc.offset == 4096 + 7
+
+    def test_contiguous_extent_is_stripe_remainder(self):
+        assert self.placement.contiguous_extent(0) == 4096
+        assert self.placement.contiguous_extent(4090) == 6
+
+    def test_split_strides_nodes(self):
+        segments = self.placement.split(0, 3 * 4096)
+        assert [loc.node for loc, _ in segments] == [0, 1, 2]
+
+    def test_granularity_must_divide_node_size(self):
+        with pytest.raises(ValueError):
+            InterleavedPlacement(node_count=2, node_size=NODE_SIZE, granularity=4096 + 8)
+
+    def test_granularity_word_multiple(self):
+        with pytest.raises(ValueError):
+            InterleavedPlacement(node_count=2, node_size=NODE_SIZE, granularity=13)
+
+    @given(st.integers(min_value=0, max_value=4 * NODE_SIZE - 1))
+    def test_locate_globalize_roundtrip(self, addr):
+        loc = self.placement.locate(addr)
+        assert self.placement.globalize(loc.node, loc.offset) == addr
+
+    @given(
+        st.integers(min_value=0, max_value=4 * NODE_SIZE - 10_000),
+        st.integers(min_value=1, max_value=9_999),
+    )
+    def test_split_covers_range_exactly(self, addr, length):
+        segments = self.placement.split(addr, length)
+        assert sum(seg for _, seg in segments) == length
+        # Each segment stays within one node's contiguous extent.
+        cursor = addr
+        for loc, seg in segments:
+            assert self.placement.locate(cursor) == loc
+            assert seg <= self.placement.contiguous_extent(cursor)
+            cursor += seg
+
+
+class TestValidation:
+    def test_node_count_positive(self):
+        with pytest.raises(ValueError):
+            RangePlacement(node_count=0, node_size=NODE_SIZE)
+
+    def test_node_size_page_multiple(self):
+        with pytest.raises(ValueError):
+            RangePlacement(node_count=1, node_size=100)
+
+    def test_negative_length_check(self):
+        placement = RangePlacement(node_count=1, node_size=NODE_SIZE)
+        with pytest.raises(AddressError):
+            placement.check(0, -1)
+
+
+class TestPages:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_same_page(self):
+        assert same_page(0, PAGE_SIZE)
+        assert not same_page(PAGE_SIZE - 8, 16)
+        assert same_page(PAGE_SIZE - 8, 8)
+        assert same_page(12345, 0)

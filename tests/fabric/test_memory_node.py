@@ -1,0 +1,148 @@
+"""Unit + property tests for a single memory node."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.errors import AddressError, AlignmentError
+from repro.fabric.memory_node import MemoryNode
+from repro.fabric.wire import U64_MASK
+
+SIZE = 1 << 16
+
+
+@pytest.fixture
+def node() -> MemoryNode:
+    return MemoryNode(node_id=0, size=SIZE)
+
+
+class TestReadWrite:
+    def test_starts_zeroed(self, node):
+        assert node.read(0, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self, node):
+        node.write(100, b"hello")
+        assert node.read(100, 5) == b"hello"
+
+    def test_word_roundtrip(self, node):
+        node.write_word(8, 12345)
+        assert node.read_word(8) == 12345
+
+    def test_out_of_bounds_read(self, node):
+        with pytest.raises(AddressError):
+            node.read(SIZE - 4, 8)
+
+    def test_out_of_bounds_write(self, node):
+        with pytest.raises(AddressError):
+            node.write(SIZE, b"x")
+
+    def test_negative_offset(self, node):
+        with pytest.raises(AddressError):
+            node.read(-1, 1)
+
+    def test_unaligned_word_rejected(self, node):
+        with pytest.raises(AlignmentError):
+            node.read_word(3)
+        with pytest.raises(AlignmentError):
+            node.write_word(3, 1)
+
+    @given(
+        st.integers(min_value=0, max_value=SIZE - 256),
+        st.binary(min_size=1, max_size=256),
+    )
+    def test_write_read_property(self, offset, data):
+        node = MemoryNode(0, SIZE)
+        node.write(offset, data)
+        assert node.read(offset, len(data)) == data
+
+
+class TestAtomics:
+    def test_cas_success(self, node):
+        node.write_word(0, 5)
+        old, ok = node.compare_and_swap(0, 5, 9)
+        assert (old, ok) == (5, True)
+        assert node.read_word(0) == 9
+
+    def test_cas_failure_leaves_value(self, node):
+        node.write_word(0, 5)
+        old, ok = node.compare_and_swap(0, 4, 9)
+        assert (old, ok) == (5, False)
+        assert node.read_word(0) == 5
+
+    def test_fetch_add_returns_old(self, node):
+        node.write_word(8, 10)
+        assert node.fetch_add(8, 3) == 10
+        assert node.read_word(8) == 13
+
+    def test_fetch_add_wraps(self, node):
+        node.write_word(8, U64_MASK)
+        node.fetch_add(8, 1)
+        assert node.read_word(8) == 0
+
+    def test_fetch_add_negative(self, node):
+        node.write_word(8, 5)
+        node.fetch_add(8, -2)
+        assert node.read_word(8) == 3
+
+    def test_swap(self, node):
+        node.write_word(16, 1)
+        assert node.swap(16, 2) == 1
+        assert node.read_word(16) == 2
+
+    def test_atomics_require_alignment(self, node):
+        with pytest.raises(AlignmentError):
+            node.fetch_add(4, 1)
+
+
+class TestWriteHook:
+    def test_hook_fires_on_write(self, node):
+        events = []
+        node.set_write_hook(lambda *args: events.append(args))
+        node.write(24, b"ab")
+        assert events == [(0, 24, 2, b"ab")]
+
+    def test_hook_fires_on_atomics(self, node):
+        events = []
+        node.set_write_hook(lambda *args: events.append(args))
+        node.fetch_add(0, 1)
+        node.swap(8, 2)
+        node.compare_and_swap(16, 0, 1)
+        assert len(events) == 3
+
+    def test_hook_not_fired_on_failed_cas(self, node):
+        events = []
+        node.write_word(0, 7)
+        node.set_write_hook(lambda *args: events.append(args))
+        node.compare_and_swap(0, 1, 2)
+        assert events == []
+
+    def test_hook_not_fired_on_read(self, node):
+        events = []
+        node.set_write_hook(lambda *args: events.append(args))
+        node.read(0, 8)
+        assert events == []
+
+    def test_hook_sees_new_bytes(self, node):
+        captured = {}
+        node.set_write_hook(
+            lambda nid, off, length, data: captured.update(data=data)
+        )
+        node.write_word(0, 0xAB)
+        assert captured["data"][0] == 0xAB
+
+
+class TestStats:
+    def test_counts(self, node):
+        node.write(0, b"xy")
+        node.read(0, 2)
+        node.fetch_add(8, 1)
+        assert node.stats.writes == 1
+        assert node.stats.reads == 1
+        assert node.stats.atomics == 1
+        assert node.stats.bytes_written == 2
+        assert node.stats.bytes_read == 2
+        assert node.stats.total_ops() == 3
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            MemoryNode(0, 0)

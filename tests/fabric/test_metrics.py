@@ -1,0 +1,82 @@
+"""Unit tests for operation accounting."""
+
+from repro.fabric.metrics import Metrics, aggregate
+
+
+class TestMetrics:
+    def test_starts_zeroed(self):
+        m = Metrics()
+        assert m.far_accesses == 0
+        assert all(v == 0 for v in m.as_dict().values())
+
+    def test_snapshot_is_independent(self):
+        m = Metrics()
+        snap = m.snapshot()
+        m.far_accesses += 5
+        assert snap.far_accesses == 0
+
+    def test_delta(self):
+        m = Metrics()
+        m.far_accesses = 3
+        snap = m.snapshot()
+        m.far_accesses = 10
+        m.bytes_read = 64
+        diff = m.delta(snap)
+        assert diff.far_accesses == 7
+        assert diff.bytes_read == 64
+
+    def test_delta_custom_counters(self):
+        m = Metrics()
+        m.bump("slow_path", 2)
+        snap = m.snapshot()
+        m.bump("slow_path", 3)
+        m.bump("other")
+        diff = m.delta(snap)
+        assert diff.custom["slow_path"] == 3
+        assert diff.custom["other"] == 1
+        assert "unrelated" not in diff.custom
+
+    def test_merge(self):
+        a = Metrics()
+        a.far_accesses = 2
+        a.bump("x")
+        b = Metrics()
+        b.far_accesses = 3
+        b.bump("x", 4)
+        a.merge(b)
+        assert a.far_accesses == 5
+        assert a.custom["x"] == 5
+
+    def test_reset(self):
+        m = Metrics()
+        m.far_accesses = 9
+        m.bump("y")
+        m.reset()
+        assert m.far_accesses == 0
+        assert not m.custom
+
+    def test_as_dict_includes_custom(self):
+        m = Metrics()
+        m.bump("fences", 2)
+        assert m.as_dict()["custom.fences"] == 2
+
+    def test_str_omits_zero_counters(self):
+        m = Metrics()
+        m.far_accesses = 1
+        text = str(m)
+        assert "far_accesses=1" in text
+        assert "rpcs" not in text
+
+
+class TestAggregate:
+    def test_aggregate_sums(self):
+        ms = []
+        for i in range(3):
+            m = Metrics()
+            m.far_accesses = i + 1
+            ms.append(m)
+        total = aggregate(ms)
+        assert total.far_accesses == 6
+
+    def test_aggregate_empty(self):
+        assert aggregate([]).far_accesses == 0

@@ -1,0 +1,155 @@
+"""Semantics tests for every Fig. 1 primitive, against the fabric directly.
+
+Each test mirrors one row of the paper's Figure 1 table; the benchmark
+``bench_fig1_primitives.py`` measures their round-trip savings, these
+tests pin their meaning.
+"""
+
+import pytest
+
+from repro.fabric import Fabric, RangePlacement
+from repro.fabric.errors import AddressError
+from repro.fabric.wire import WORD, decode_u64, encode_u64
+
+NODE_SIZE = 1 << 20
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(RangePlacement(node_count=1, node_size=NODE_SIZE))
+
+
+def put_word(fabric, addr, value):
+    fabric.write_word(addr, value)
+
+
+class TestIndirectLoads:
+    def test_load0(self, fabric):
+        put_word(fabric, 0, 1000)
+        fabric.write(1000, b"DATA4321")
+        assert fabric.load0(0, 8).value == b"DATA4321"
+
+    def test_load1_indexes_the_pointer_array(self, fabric):
+        # ad + i selects which pointer; here a table of two pointers.
+        put_word(fabric, 0, 1000)
+        put_word(fabric, 8, 2000)
+        fabric.write(1000, encode_u64(111))
+        fabric.write(2000, encode_u64(222))
+        assert decode_u64(fabric.load1(0, 0, WORD).value) == 111
+        assert decode_u64(fabric.load1(0, 8, WORD).value) == 222
+
+    def test_load2_offsets_the_target(self, fabric):
+        # *ad + i: a base pointer plus an element offset (vector indexing).
+        put_word(fabric, 0, 3000)
+        fabric.write(3000 + 24, encode_u64(777))
+        assert decode_u64(fabric.load2(0, 24, WORD).value) == 777
+
+    def test_load0_returns_pointer(self, fabric):
+        put_word(fabric, 0, 4096)
+        fabric.write(4096, b"\x01" * 8)
+        assert fabric.load0(0, 8).pointer == 4096
+
+
+class TestIndirectStores:
+    def test_store0(self, fabric):
+        put_word(fabric, 0, 1000)
+        fabric.store0(0, b"12345678")
+        assert fabric.read(1000, 8).value == b"12345678"
+
+    def test_store1(self, fabric):
+        put_word(fabric, 8, 2000)
+        fabric.store1(0, 8, encode_u64(5))
+        assert fabric.read_word(2000) == 5
+
+    def test_store2(self, fabric):
+        put_word(fabric, 0, 3000)
+        fabric.store2(0, 16, encode_u64(6))
+        assert fabric.read_word(3016) == 6
+
+
+class TestPointerBumpAtomics:
+    def test_faai_returns_data_at_old_pointer_and_bumps(self, fabric):
+        put_word(fabric, 0, 1000)  # head pointer
+        fabric.write(1000, encode_u64(42))  # item at old head
+        result = fabric.faai(0, WORD, WORD)
+        assert decode_u64(result.value) == 42
+        assert result.pointer == 1000
+        assert fabric.read_word(0) == 1008  # pointer advanced
+
+    def test_saai_stores_at_old_pointer_and_bumps(self, fabric):
+        put_word(fabric, 0, 2000)  # tail pointer
+        result = fabric.saai(0, WORD, encode_u64(99))
+        assert result.pointer == 2000
+        assert fabric.read_word(2000) == 99
+        assert fabric.read_word(0) == 2008
+
+    def test_faai_negative_delta(self, fabric):
+        put_word(fabric, 0, 1008)
+        fabric.write(1008, encode_u64(1))
+        fabric.faai(0, -WORD, WORD)
+        assert fabric.read_word(0) == 1000
+
+    def test_fsaai_fetches_swaps_and_bumps(self, fabric):
+        # The DESIGN.md extension: faai + saai fused.
+        put_word(fabric, 0, 1000)
+        fabric.write(1000, encode_u64(42))
+        sentinel = encode_u64((1 << 64) - 1)
+        result = fabric.fsaai(0, WORD, sentinel)
+        assert decode_u64(result.value) == 42  # fetched the old content
+        assert fabric.read(1000, WORD).value == sentinel  # swapped in place
+        assert fabric.read_word(0) == 1008  # pointer bumped
+
+
+class TestIndirectAdds:
+    def test_add0(self, fabric):
+        put_word(fabric, 0, 1000)
+        put_word(fabric, 1000, 10)
+        result = fabric.add0(0, 5)
+        assert result.value == 10  # old value at the target
+        assert fabric.read_word(1000) == 15
+
+    def test_add1(self, fabric):
+        put_word(fabric, 8, 2000)
+        put_word(fabric, 2000, 1)
+        fabric.add1(0, 2, 8)
+        assert fabric.read_word(2000) == 3
+
+    def test_add2_is_the_histogram_increment(self, fabric):
+        # Section 6: sample as offset into the vector, one far access.
+        put_word(fabric, 0, 4096)  # histogram base pointer
+        fabric.add2(0, 1, 3 * WORD)  # histogram[3] += 1
+        fabric.add2(0, 1, 3 * WORD)
+        assert fabric.read_word(4096 + 3 * WORD) == 2
+
+
+class TestScatterGather:
+    def test_rscatter_splits_a_far_range(self, fabric):
+        fabric.write(512, b"AABBBCC")
+        buffers = fabric.rscatter(512, [2, 3, 2]).value
+        assert buffers == [b"AA", b"BBB", b"CC"]
+
+    def test_rscatter_rejects_negative_lengths(self, fabric):
+        with pytest.raises(AddressError):
+            fabric.rscatter(0, [4, -1])
+
+    def test_rgather_concatenates_far_buffers(self, fabric):
+        fabric.write(100, b"xx")
+        fabric.write(300, b"yyy")
+        assert fabric.rgather([(100, 2), (300, 3)]).value == b"xxyyy"
+
+    def test_wscatter_distributes_local_buffer(self, fabric):
+        fabric.wscatter([(100, 2), (300, 3)], b"ABCDE")
+        assert fabric.read(100, 2).value == b"AB"
+        assert fabric.read(300, 3).value == b"CDE"
+
+    def test_wscatter_length_mismatch(self, fabric):
+        with pytest.raises(AddressError):
+            fabric.wscatter([(100, 2)], b"ABC")
+
+    def test_wgather_concatenates_local_buffers(self, fabric):
+        fabric.wgather(700, [b"12", b"345"])
+        assert fabric.read(700, 5).value == b"12345"
+
+    def test_gather_is_one_operation_many_segments(self, fabric):
+        result = fabric.rgather([(0, 8), (4096, 8), (8192, 8)])
+        assert result.segments == 3

@@ -1,0 +1,100 @@
+"""Tests for client-driven replication across node fault domains."""
+
+import pytest
+
+from repro import Cluster
+from repro.fabric.errors import AddressError, NodeUnavailableError
+from repro.fabric.replication import ReplicatedRegion
+
+NODE_SIZE = 8 << 20
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=3, node_size=NODE_SIZE)
+
+
+@pytest.fixture
+def region(cluster):
+    return ReplicatedRegion.create(cluster.allocator, 256, copies=2)
+
+
+class TestPlacement:
+    def test_replicas_on_distinct_nodes(self, cluster, region):
+        nodes = {cluster.fabric.node_of(replica) for replica in region.replicas}
+        assert len(nodes) == 2
+
+    def test_too_many_copies_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            ReplicatedRegion.create(cluster.allocator, 64, copies=4)
+
+    def test_single_copy_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            ReplicatedRegion.create(cluster.allocator, 64, copies=1)
+
+
+class TestIO:
+    def test_roundtrip(self, cluster, region):
+        c = cluster.client()
+        region.write(c, 0, b"replicated!")
+        assert region.read(c, 0, 11) == b"replicated!"
+
+    def test_write_reaches_every_replica(self, cluster, region):
+        c = cluster.client()
+        region.write(c, 8, b"copy")
+        for replica in region.replicas:
+            assert cluster.fabric.read(replica + 8, 4).value == b"copy"
+
+    def test_write_is_one_far_access(self, cluster, region):
+        c = cluster.client()
+        snapshot = c.metrics.snapshot()
+        region.write_word(c, 0, 42)
+        assert c.metrics.delta(snapshot).far_accesses == 1
+
+    def test_bounds(self, cluster, region):
+        c = cluster.client()
+        with pytest.raises(AddressError):
+            region.read(c, 250, 16)
+        with pytest.raises(AddressError):
+            region.write(c, -1, b"x")
+
+
+class TestFailover:
+    def test_read_survives_primary_failure(self, cluster, region):
+        c = cluster.client()
+        region.write_word(c, 0, 7)
+        primary_node = cluster.fabric.node_of(region.replicas[0])
+        cluster.fabric.fail_node(primary_node)
+        assert region.read_word(c, 0) == 7  # served by the secondary
+        assert region.stats.failovers == 1
+        assert region.live_replicas() == 1
+
+    def test_failover_costs_one_extra_access(self, cluster, region):
+        c = cluster.client()
+        region.write_word(c, 0, 7)
+        cluster.fabric.fail_node(cluster.fabric.node_of(region.replicas[0]))
+        snapshot = c.metrics.snapshot()
+        region.read_word(c, 0)
+        assert c.metrics.delta(snapshot).far_accesses == 2
+
+    def test_all_replicas_down_raises(self, cluster, region):
+        c = cluster.client()
+        for replica in region.replicas:
+            cluster.fabric.fail_node(cluster.fabric.node_of(replica))
+        with pytest.raises(NodeUnavailableError):
+            region.read_word(c, 0)
+
+    def test_resync_after_repair(self, cluster, region):
+        c = cluster.client()
+        region.write_word(c, 0, 1)
+        dead = cluster.fabric.node_of(region.replicas[0])
+        cluster.fabric.fail_node(dead)
+        # A write while a replica is down surfaces the outage; real
+        # deployments buffer or re-provision — here we repair and resync.
+        with pytest.raises(NodeUnavailableError):
+            region.write_word(c, 0, 2)
+        cluster.fabric.repair_node(dead)
+        region.resync(c, repaired_index=0)
+        assert cluster.fabric.read_word(region.replicas[0]) == cluster.fabric.read_word(
+            region.replicas[1]
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for word encoding helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.wire import (
+    U64_MASK,
+    WORD,
+    align_down,
+    align_up,
+    decode_u64,
+    encode_u64,
+    is_word_aligned,
+    to_signed,
+    wrap_add,
+)
+
+u64s = st.integers(min_value=0, max_value=U64_MASK)
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        assert decode_u64(encode_u64(42)) == 42
+
+    def test_encode_is_little_endian(self):
+        assert encode_u64(1) == b"\x01" + b"\x00" * 7
+
+    def test_encode_wraps_negative(self):
+        assert decode_u64(encode_u64(-1)) == U64_MASK
+
+    def test_encode_wraps_overflow(self):
+        assert decode_u64(encode_u64(U64_MASK + 5)) == 4
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            decode_u64(b"\x00" * 7)
+
+    @given(u64s)
+    def test_roundtrip_property(self, value):
+        assert decode_u64(encode_u64(value)) == value
+
+
+class TestSigned:
+    def test_positive_unchanged(self):
+        assert to_signed(7) == 7
+
+    def test_max_negative(self):
+        assert to_signed(U64_MASK) == -1
+
+    def test_min_signed(self):
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_signed_roundtrip(self, value):
+        assert to_signed(value & U64_MASK) == value
+
+
+class TestWrapAdd:
+    def test_plain(self):
+        assert wrap_add(2, 3) == 5
+
+    def test_wraps(self):
+        assert wrap_add(U64_MASK, 1) == 0
+
+    def test_negative_delta(self):
+        assert wrap_add(5, -7) == U64_MASK - 1
+
+    @given(u64s, u64s)
+    def test_always_in_range(self, a, b):
+        assert 0 <= wrap_add(a, b) <= U64_MASK
+
+
+class TestAlignment:
+    def test_is_word_aligned(self):
+        assert is_word_aligned(0)
+        assert is_word_aligned(WORD)
+        assert not is_word_aligned(WORD - 1)
+
+    def test_align_up(self):
+        assert align_up(1, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(0, 8) == 0
+
+    def test_align_down(self):
+        assert align_down(15, 8) == 8
+        assert align_down(8, 8) == 8
+
+    def test_align_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            align_up(4, 0)
+        with pytest.raises(ValueError):
+            align_down(4, -1)
+
+    @given(st.integers(min_value=0, max_value=1 << 40), st.sampled_from([1, 2, 4, 8, 64, 4096]))
+    def test_align_up_properties(self, value, alignment):
+        up = align_up(value, alignment)
+        assert up >= value
+        assert up % alignment == 0
+        assert up - value < alignment

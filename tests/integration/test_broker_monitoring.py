@@ -1,0 +1,81 @@
+"""Integration: monitoring consumers behind a broker tier (sections 6 + 7.2).
+
+Section 6's consumers each hold their own hardware subscriptions; at
+fleet scale, section 7.2 says to interpose brokers. This test runs the
+monitoring case study with many consumers attached through a
+BrokerNetwork and checks that alarms still flow while hardware
+subscription state stays bounded.
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.apps.monitoring import FarHistogram
+from repro.fabric.wire import WORD
+from repro.notify import BrokerNetwork
+
+NODE_SIZE = 32 << 20
+
+
+class _AlarmSink:
+    """A minimal monitoring process: counts alarm-range notifications."""
+
+    def __init__(self):
+        self.events = 0
+
+    def deliver(self, notification):
+        self.events += notification.coalesced_count
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=1, node_size=NODE_SIZE)
+
+
+class TestBrokeredMonitoring:
+    def test_many_processes_bounded_hardware_state(self, cluster):
+        histogram = FarHistogram.create(cluster.allocator, bins=100)
+        producer = cluster.client("producer")
+        network = BrokerNetwork.create(cluster.notifications, broker_count=4)
+        base = histogram.vector.base(producer)
+
+        # 40 monitoring processes all watch the failure bin [99].
+        processes = [_AlarmSink() for _ in range(40)]
+        for process in processes:
+            network.attach(process, base + 99 * WORD, WORD)
+        # Hardware state: one subscription for the shared topic, not 40.
+        assert cluster.notifications.hardware_subscriptions == 1
+
+        histogram.record(producer, 50)  # normal: nobody notified
+        assert all(p.events == 0 for p in processes)
+        histogram.record(producer, 99)  # failure: everyone notified
+        assert all(p.events == 1 for p in processes)
+        assert network.total_messages_out() == 40
+
+    def test_mixed_direct_and_brokered(self, cluster):
+        histogram = FarHistogram.create(cluster.allocator, bins=100)
+        producer = cluster.client("producer")
+        base = histogram.vector.base(producer)
+        direct = cluster.client("direct-consumer")
+        cluster.notifications.notify0(direct, base + 99 * WORD, WORD)
+        network = BrokerNetwork.create(cluster.notifications, broker_count=2)
+        sink = _AlarmSink()
+        network.attach(sink, base + 99 * WORD, WORD)
+
+        histogram.record(producer, 99)
+        assert direct.pending_notifications() == 1
+        assert sink.events == 1
+
+    def test_broker_fanout_scales_with_processes_not_subscriptions(self, cluster):
+        histogram = FarHistogram.create(cluster.allocator, bins=100)
+        producer = cluster.client("producer")
+        base = histogram.vector.base(producer)
+        network = BrokerNetwork.create(cluster.notifications, broker_count=4)
+        for count in (10, 20, 40):
+            sinks = [_AlarmSink() for _ in range(count)]
+            for sink in sinks:
+                network.attach(sink, base + 90 * WORD, WORD)
+        # Still one topic -> one hardware subscription.
+        assert cluster.notifications.hardware_subscriptions == 1
+        histogram.record(producer, 90)
+        assert network.total_messages_out() == 70

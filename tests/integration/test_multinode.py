@@ -1,0 +1,151 @@
+"""Integration tests for multi-node behaviour (section 7.1)."""
+
+import pytest
+
+from repro import Cluster
+from repro.alloc import near, on_node, spread
+from repro.fabric import IndirectionPolicy
+from repro.fabric.wire import WORD
+
+NODE_SIZE = 8 << 20
+
+
+class TestStructuresOnStripedMemory:
+    """Every data structure must work unchanged over interleaved placement."""
+
+    @pytest.fixture
+    def striped(self):
+        return Cluster(node_count=4, node_size=NODE_SIZE, interleaved=True)
+
+    def test_ht_tree(self, striped):
+        tree = striped.ht_tree(bucket_count=64, max_chain=4)
+        client = striped.client()
+        for k in range(300):
+            tree.put(client, k * 11, k)
+        for k in range(300):
+            assert tree.get(client, k * 11) == k
+
+    def test_queue(self, striped):
+        queue = striped.far_queue(capacity=64, max_clients=2)
+        producer, consumer = striped.client(), striped.client()
+        for i in range(200):
+            queue.enqueue(producer, i)
+            assert queue.dequeue(consumer) == i
+
+    def test_refreshable_vector(self, striped):
+        vector = striped.refreshable_vector(512, group_size=64)
+        writer, reader = striped.client(), striped.client()
+        vector.set(writer, 100, 5)
+        vector.refresh(reader)
+        assert vector.get(reader, 100) == 5
+
+    def test_striping_spreads_node_load(self, striped):
+        client = striped.client()
+        base = striped.allocator.alloc(256 * 4096)
+        for i in range(256):
+            client.write_u64(base + i * 4096, i)
+        ops = [node.stats.total_ops() for node in striped.fabric.nodes]
+        assert min(ops) > 0
+        assert max(ops) <= 2 * min(ops)  # roughly balanced
+
+
+class TestIndirectionPolicies:
+    """Forwarding beats erroring on both traversals and round trips."""
+
+    def _chain(self, cluster):
+        client = cluster.client()
+        pointer = cluster.allocator.alloc_words(1, on_node(0))
+        target = cluster.allocator.alloc_words(1, on_node(1))
+        client.write_u64(pointer, target)
+        client.write_u64(target, 7)
+        return client, pointer
+
+    def test_forward_traversals(self):
+        cluster = Cluster(
+            node_count=2, node_size=NODE_SIZE,
+            indirection_policy=IndirectionPolicy.FORWARD,
+        )
+        client, pointer = self._chain(cluster)
+        snapshot = client.metrics.snapshot()
+        assert client.load0_u64(pointer) == 7
+        delta = client.metrics.delta(snapshot)
+        assert delta.round_trips == 1
+        assert delta.network_traversals == 3
+
+    def test_error_traversals(self):
+        cluster = Cluster(
+            node_count=2, node_size=NODE_SIZE,
+            indirection_policy=IndirectionPolicy.ERROR,
+        )
+        client, pointer = self._chain(cluster)
+        snapshot = client.metrics.snapshot()
+        assert client.load0_u64(pointer) == 7
+        delta = client.metrics.delta(snapshot)
+        assert delta.round_trips == 2
+        assert delta.network_traversals == 4
+
+    def test_forward_is_faster_in_simulated_time(self):
+        def elapsed(policy):
+            cluster = Cluster(
+                node_count=2, node_size=NODE_SIZE, indirection_policy=policy
+            )
+            client, pointer = self._chain(cluster)
+            start = client.clock.now_ns
+            client.load0_u64(pointer)
+            return client.clock.now_ns - start
+
+        assert elapsed(IndirectionPolicy.FORWARD) < elapsed(IndirectionPolicy.ERROR)
+
+    def test_local_placement_avoids_both(self):
+        # Section 7.1's allocator-hint fix: co-locate pointer and target.
+        cluster = Cluster(
+            node_count=2, node_size=NODE_SIZE,
+            indirection_policy=IndirectionPolicy.ERROR,
+        )
+        client = cluster.client()
+        pointer = cluster.allocator.alloc_words(1, on_node(0))
+        target = cluster.allocator.alloc_words(1, near(pointer))
+        client.write_u64(pointer, target)
+        client.write_u64(target, 9)
+        snapshot = client.metrics.snapshot()
+        assert client.load0_u64(pointer) == 9
+        delta = client.metrics.delta(snapshot)
+        assert delta.round_trips == 1
+        assert delta.indirection_errors == 0
+
+    def test_ht_tree_hints_keep_chains_local(self):
+        # HT-tree allocates chain records near their table, so lookups
+        # never pay forwarding even on multi-node range placement.
+        cluster = Cluster(node_count=4, node_size=NODE_SIZE)
+        tree = cluster.ht_tree(bucket_count=32, max_chain=16)
+        client = cluster.client()
+        for k in range(300):
+            tree.put(client, k, k)
+        snapshot = client.metrics.snapshot()
+        for k in range(300):
+            assert tree.get(client, k) == k
+        assert client.metrics.delta(snapshot).indirection_forwards == 0
+
+    def test_spread_hint_distributes_tables(self):
+        cluster = Cluster(node_count=4, node_size=NODE_SIZE)
+        tree = cluster.ht_tree(bucket_count=16, max_chain=2, initial_leaves=8)
+        client = cluster.client()
+        cache = tree._cache(client)
+        nodes = {cluster.fabric.node_of(leaf.table) for leaf in cache.leaves}
+        assert len(nodes) == 4  # tables parallelised across all nodes
+
+
+class TestQueueOnErrorPolicy:
+    def test_queue_survives_error_policy(self):
+        # With the queue allocated in one block it stays on one node, so
+        # faai never crosses nodes; this pins that placement invariant.
+        cluster = Cluster(
+            node_count=2, node_size=NODE_SIZE,
+            indirection_policy=IndirectionPolicy.ERROR,
+        )
+        queue = cluster.far_queue(capacity=32, max_clients=2)
+        producer, consumer = cluster.client(), cluster.client()
+        for i in range(100):
+            queue.enqueue(producer, i)
+            assert queue.dequeue(consumer) == i
+        assert producer.metrics.indirection_errors == 0

@@ -1,0 +1,91 @@
+"""Property-based tests for notification matching.
+
+Invariant (section 4.3): with reliable delivery, a subscriber receives a
+notification **iff** a write overlapped its range — no false negatives,
+no spurious matches — for arbitrary subscription layouts and write
+patterns within a page.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+from repro.fabric.address import PAGE_SIZE
+from repro.fabric.wire import WORD
+
+NODE_SIZE = 8 << 20
+
+WORDS_PER_PAGE = PAGE_SIZE // WORD
+
+subscriptions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=WORDS_PER_PAGE - 1),  # start word
+        st.integers(min_value=1, max_value=8),  # word count
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+writes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=WORDS_PER_PAGE - 1),
+        st.integers(min_value=1, max_value=4),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestMatchingInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(subscriptions, writes)
+    def test_notified_iff_overlapped(self, subs, write_ops):
+        from repro.alloc import PlacementHint
+
+        cluster = Cluster(node_count=1, node_size=NODE_SIZE)
+        # One page-aligned page, so section 4.3's page constraint is
+        # respected by construction.
+        base = cluster.allocator.alloc(PAGE_SIZE, PlacementHint(alignment=PAGE_SIZE))
+        watcher = cluster.client()
+        writer = cluster.client()
+
+        registered = []
+        for start_word, count_words in subs:
+            count_words = min(count_words, WORDS_PER_PAGE - start_word)
+            sub = cluster.notifications.notify0(
+                watcher, base + start_word * WORD, count_words * WORD
+            )
+            registered.append((sub.sub_id, start_word, count_words))
+
+        expected: dict[int, int] = {}
+        for start_word, count_words in write_ops:
+            count_words = min(count_words, WORDS_PER_PAGE - start_word)
+            writer.write(base + start_word * WORD, b"\x01" * (count_words * WORD))
+            for sub_id, s, c in registered:
+                if start_word < s + c and s < start_word + count_words:
+                    expected[sub_id] = expected.get(sub_id, 0) + 1
+
+        received: dict[int, int] = {}
+        for n in watcher.poll_notifications():
+            received[n.sub_id] = received.get(n.sub_id, 0) + n.coalesced_count
+
+        assert received == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=WORDS_PER_PAGE - 1),
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=10),
+    )
+    def test_notifye_fires_exactly_on_match(self, watch_word, values):
+        cluster = Cluster(node_count=1, node_size=NODE_SIZE)
+        from repro.alloc import PlacementHint
+
+        base = cluster.allocator.alloc(PAGE_SIZE, PlacementHint(alignment=PAGE_SIZE))
+        watcher, writer = cluster.client(), cluster.client()
+        target = base + watch_word * WORD
+        cluster.notifications.notifye(watcher, target, 3)
+        expected = sum(1 for v in values if v == 3)
+        for v in values:
+            writer.write_u64(target, v)
+        assert watcher.pending_notifications() == expected

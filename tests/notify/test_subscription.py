@@ -1,0 +1,85 @@
+"""Unit tests for subscriptions and notification messages."""
+
+import pytest
+
+from repro.fabric.address import PAGE_SIZE
+from repro.fabric.errors import AlignmentError
+from repro.notify.subscription import Notification, NotifyKind, Subscription
+
+
+class _Sink:
+    def __init__(self):
+        self.received = []
+
+    def deliver(self, notification):
+        self.received.append(notification)
+
+
+class TestSubscriptionValidation:
+    def test_valid_notify0(self):
+        sub = Subscription(1, _Sink(), NotifyKind.NOTIFY0, 0, 8)
+        assert sub.end == 8
+
+    def test_address_must_be_word_aligned(self):
+        with pytest.raises(AlignmentError):
+            Subscription(1, _Sink(), NotifyKind.NOTIFY0, 4, 8)
+
+    def test_length_must_be_word_multiple(self):
+        with pytest.raises(AlignmentError):
+            Subscription(1, _Sink(), NotifyKind.NOTIFY0, 0, 12)
+
+    def test_length_must_be_positive(self):
+        with pytest.raises(AlignmentError):
+            Subscription(1, _Sink(), NotifyKind.NOTIFY0, 0, 0)
+
+    def test_must_not_cross_page_boundary(self):
+        # Section 4.3's hardware constraint.
+        with pytest.raises(AlignmentError):
+            Subscription(1, _Sink(), NotifyKind.NOTIFY0, PAGE_SIZE - 8, 16)
+
+    def test_whole_page_is_allowed(self):
+        Subscription(1, _Sink(), NotifyKind.NOTIFY0, PAGE_SIZE, PAGE_SIZE)
+
+    def test_notifye_requires_value(self):
+        with pytest.raises(ValueError):
+            Subscription(1, _Sink(), NotifyKind.NOTIFYE, 0, 8)
+
+    def test_notifye_watches_one_word(self):
+        with pytest.raises(AlignmentError):
+            Subscription(1, _Sink(), NotifyKind.NOTIFYE, 0, 16, value=0)
+
+    def test_notify0_rejects_value(self):
+        with pytest.raises(ValueError):
+            Subscription(1, _Sink(), NotifyKind.NOTIFY0, 0, 8, value=3)
+
+
+class TestOverlap:
+    def test_overlapping_write_matches(self):
+        sub = Subscription(1, _Sink(), NotifyKind.NOTIFY0, 64, 16)
+        assert sub.overlaps(64, 8)
+        assert sub.overlaps(72, 8)
+        assert sub.overlaps(56, 16)  # straddles the start
+
+    def test_adjacent_write_does_not_match(self):
+        sub = Subscription(1, _Sink(), NotifyKind.NOTIFY0, 64, 16)
+        assert not sub.overlaps(80, 8)
+        assert not sub.overlaps(56, 8)
+
+    def test_inactive_never_matches(self):
+        sub = Subscription(1, _Sink(), NotifyKind.NOTIFY0, 64, 16)
+        sub.active = False
+        assert not sub.overlaps(64, 8)
+
+
+class TestNotification:
+    def test_size_includes_payload(self):
+        plain = Notification(1, NotifyKind.NOTIFY0, 0, 8, seq=1)
+        with_data = Notification(1, NotifyKind.NOTIFY0D, 0, 8, seq=2, data=b"x" * 8)
+        assert with_data.size_bytes == plain.size_bytes + 8
+
+    def test_str_flags(self):
+        n = Notification(
+            1, NotifyKind.NOTIFY0, 0, 8, seq=1, is_loss_warning=True, coalesced_count=3
+        )
+        text = str(n)
+        assert "LOSS" in text and "x3" in text

@@ -1,0 +1,51 @@
+"""Tests for barrier repair after participant crashes."""
+
+import pytest
+
+from repro import Cluster
+from repro.core.barrier import BarrierError
+from repro.recovery import arrive_for_dead
+
+NODE_SIZE = 8 << 20
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=1, node_size=NODE_SIZE)
+
+
+class TestBarrierRepair:
+    def test_repair_unblocks_survivors(self, cluster):
+        barrier = cluster.far_barrier(3)
+        survivor = cluster.client()
+        victim = cluster.client()
+        supervisor = cluster.client()
+        ticket = barrier.arrive(survivor)
+        victim.crash()  # never arrives
+        report = arrive_for_dead(barrier, supervisor, dead_count=2)
+        assert report.completed
+        assert barrier.wait_done(survivor, ticket)
+
+    def test_repair_without_completion(self, cluster):
+        barrier = cluster.far_barrier(4)
+        supervisor = cluster.client()
+        report = arrive_for_dead(barrier, supervisor, dead_count=2)
+        assert not report.completed
+        assert report.decremented == 2
+        # The remaining two arrivals still work normally.
+        c1, c2 = cluster.client(), cluster.client()
+        barrier.arrive(c1)
+        ticket = barrier.arrive(c2)
+        assert ticket.is_last
+
+    def test_overshoot_rejected(self, cluster):
+        barrier = cluster.far_barrier(2)
+        supervisor = cluster.client()
+        barrier.arrive(cluster.client())
+        with pytest.raises(BarrierError):
+            arrive_for_dead(barrier, supervisor, dead_count=2)
+
+    def test_dead_count_validated(self, cluster):
+        barrier = cluster.far_barrier(2)
+        with pytest.raises(ValueError):
+            arrive_for_dead(barrier, cluster.client(), dead_count=0)

@@ -1,0 +1,121 @@
+"""Tests for crash simulation: separate fault domains (section 2)."""
+
+import pytest
+
+from repro import Cluster
+from repro.alloc import on_node
+from repro.fabric.errors import ClientDeadError, NodeUnavailableError
+
+NODE_SIZE = 8 << 20
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=2, node_size=NODE_SIZE)
+
+
+class TestClientCrash:
+    def test_far_memory_survives_client_crash(self, cluster):
+        # The section 2 availability claim, verbatim.
+        writer = cluster.client()
+        addr = cluster.allocator.alloc_words(1)
+        writer.write_u64(addr, 12345)
+        writer.crash()
+        survivor = cluster.client()
+        assert survivor.read_u64(addr) == 12345
+
+    def test_dead_client_cannot_operate(self, cluster):
+        client = cluster.client()
+        addr = cluster.allocator.alloc_words(1)
+        client.crash()
+        with pytest.raises(ClientDeadError):
+            client.read_u64(addr)
+        with pytest.raises(ClientDeadError):
+            client.write_u64(addr, 1)
+        with pytest.raises(ClientDeadError):
+            client.faa(addr, 1)
+        with pytest.raises(ClientDeadError):
+            client.load0(addr, 8)
+        with pytest.raises(ClientDeadError):
+            client.rgather([(addr, 8)])
+
+    def test_crash_loses_volatile_state(self, cluster):
+        client = cluster.client()
+        addr = cluster.allocator.alloc_words(1)
+        cluster.notifications.notify0(client, addr, 8)
+        cluster.client().write_u64(addr, 1)
+        assert client.pending_notifications() == 1
+        client.crash()
+        assert client.pending_notifications() == 0
+
+    def test_notifications_to_dead_client_vanish(self, cluster):
+        client = cluster.client()
+        addr = cluster.allocator.alloc_words(1)
+        cluster.notifications.notify0(client, addr, 8)
+        client.crash()
+        cluster.client().write_u64(addr, 1)  # matcher still fires
+        assert client.pending_notifications() == 0
+
+    def test_ht_tree_data_survives_writer_crash(self, cluster):
+        tree = cluster.ht_tree(bucket_count=64, max_chain=4)
+        writer = cluster.client()
+        for k in range(200):
+            tree.put(writer, k, k * 2)
+        writer.crash()
+        reader = cluster.client()
+        for k in range(200):
+            assert tree.get(reader, k) == k * 2
+
+
+class TestNodeFailure:
+    def test_failed_node_raises(self, cluster):
+        client = cluster.client()
+        addr = cluster.allocator.alloc_words(1, on_node(1))
+        client.write_u64(addr, 5)
+        cluster.fabric.fail_node(1)
+        with pytest.raises(NodeUnavailableError) as excinfo:
+            client.read_u64(addr)
+        assert excinfo.value.node == 1
+
+    def test_other_nodes_stay_available(self, cluster):
+        # Partial disaggregation: fault domains are per memory node.
+        client = cluster.client()
+        safe = cluster.allocator.alloc_words(1, on_node(0))
+        client.write_u64(safe, 9)
+        cluster.fabric.fail_node(1)
+        assert client.read_u64(safe) == 9
+
+    def test_repair_restores_contents(self, cluster):
+        client = cluster.client()
+        addr = cluster.allocator.alloc_words(1, on_node(1))
+        client.write_u64(addr, 77)
+        cluster.fabric.fail_node(1)
+        cluster.fabric.repair_node(1)
+        assert client.read_u64(addr) == 77
+
+    def test_striped_read_fails_if_any_node_down(self):
+        striped = Cluster(node_count=4, node_size=NODE_SIZE, interleaved=True)
+        client = striped.client()
+        base = striped.allocator.alloc(3 * 4096)
+        client.write(base, b"x" * (3 * 4096))
+        striped.fabric.fail_node(2)
+        with pytest.raises(NodeUnavailableError):
+            client.read(base, 3 * 4096)
+
+    def test_atomics_respect_failure(self, cluster):
+        client = cluster.client()
+        addr = cluster.allocator.alloc_words(1, on_node(1))
+        cluster.fabric.fail_node(1)
+        with pytest.raises(NodeUnavailableError):
+            client.faa(addr, 1)
+        with pytest.raises(NodeUnavailableError):
+            client.cas(addr, 0, 1)
+
+    def test_node_available(self, cluster):
+        assert cluster.fabric.node_available(0)
+        cluster.fabric.fail_node(0)
+        assert not cluster.fabric.node_available(0)
+
+    def test_fail_unknown_node_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.fabric.fail_node(9)

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example asserts its own claims internally; here we only require a
+clean exit. The slowest examples are marked ``slow`` so the default run
+stays fast (run them with ``pytest -m slow``).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "fault_tolerance.py"]
+SLOW = [
+    "monitoring.py",
+    "parameter_server.py",
+    "work_queue.py",
+    "map_comparison.py",
+    "kvstore_service.py",
+]
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamplesFast:
+    @pytest.mark.parametrize("script", FAST)
+    def test_example_runs(self, script):
+        result = _run(script)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip(), "examples must narrate their run"
+
+
+@pytest.mark.slow
+class TestExamplesSlow:
+    @pytest.mark.parametrize("script", SLOW)
+    def test_example_runs(self, script):
+        result = _run(script)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip()

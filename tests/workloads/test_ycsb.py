@@ -1,0 +1,56 @@
+"""Unit tests for the YCSB workload presets."""
+
+import pytest
+
+from repro.workloads import OpKind, ycsb_names, ycsb_operations, ycsb_workload
+
+
+class TestPresets:
+    def test_supported_names(self):
+        assert ycsb_names() == ["A", "B", "C", "D", "E", "F"]
+
+    def test_lowercase_accepted(self):
+        assert ycsb_workload("a").name == "A"
+
+    def test_e_emits_scans(self):
+        ops = list(ycsb_operations("E", 100, 1_000, seed=4, max_scan=50))
+        scans = [op for op in ops if op.kind is OpKind.SCAN]
+        inserts = [op for op in ops if op.kind is OpKind.INSERT]
+        assert len(scans) + len(inserts) == len(ops)
+        assert 0.9 < len(scans) / len(ops) <= 1.0
+        assert all(1 <= op.value <= 50 for op in scans)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ycsb_workload("Z")
+
+    def test_c_is_read_only(self):
+        ops = list(ycsb_operations("C", 100, 200, seed=1))
+        assert all(op.kind is OpKind.READ for op in ops)
+
+    def test_a_is_half_updates(self):
+        ops = list(ycsb_operations("A", 100, 2_000, seed=1))
+        updates = sum(op.kind is OpKind.UPDATE for op in ops) / len(ops)
+        assert 0.45 < updates < 0.55
+
+    def test_d_inserts_fresh_keys(self):
+        ops = list(ycsb_operations("D", 100, 2_000, seed=1))
+        inserts = [op for op in ops if op.kind is OpKind.INSERT]
+        assert inserts
+        assert all(op.key >= 100 for op in inserts)  # beyond the keyspace
+
+    def test_zipfian_presets_skew(self):
+        ops = list(ycsb_operations("B", 10_000, 3_000, seed=2))
+        reads = [op.key for op in ops if op.kind is OpKind.READ]
+        from collections import Counter
+
+        top = Counter(reads).most_common(1)[0][1]
+        assert top > len(reads) / 10_000 * 20  # far above a uniform share
+
+    def test_deterministic(self):
+        a = [(op.kind, op.key) for op in ycsb_operations("A", 50, 100, seed=9)]
+        b = [(op.kind, op.key) for op in ycsb_operations("A", 50, 100, seed=9)]
+        assert a == b
+
+    def test_count(self):
+        assert len(list(ycsb_operations("F", 10, 137, seed=0))) == 137
