@@ -61,7 +61,9 @@ def _takeover_latency():
             lease.tick(survivor)
             epochs += 1
             assert epochs < 100
-        rows.append((ttl, epochs))
+        # attempts counts the holder's original acquire too; report the
+        # survivor's takeover attempts alone.
+        rows.append((ttl, epochs, lease.stats.attempts - 1, lease.stats.timeouts))
     return rows
 
 
@@ -105,7 +107,7 @@ def test_a4_recovery_costs(benchmark):
     )
     print_table(
         "A4b: epochs until a dead holder's lock is recovered",
-        ["lease TTL (epochs)", "epochs to takeover"],
+        ["lease TTL (epochs)", "epochs to takeover", "takeover attempts", "timeouts"],
         takeover_rows,
     )
     print_table(
@@ -118,6 +120,7 @@ def test_a4_recovery_costs(benchmark):
         {
             "plain_lock_cost": plain_cost,
             "takeover_ttl2": takeover_rows[1][1],
+            "takeover_attempts_ttl2": takeover_rows[1][2],
             "scrub_cost_512": scrub_rows[-1][1],
         },
     )
@@ -128,6 +131,10 @@ def test_a4_recovery_costs(benchmark):
     epochs = [row[1] for row in takeover_rows]
     assert epochs == sorted(epochs)
     assert all(e >= t for t, e in zip(ttls, epochs))
+    # One probe per epoch tick plus the winning attempt, none lost to
+    # fabric timeouts on the fault-free path.
+    assert all(row[2] == row[1] + 1 for row in takeover_rows)
+    assert all(row[3] == 0 for row in takeover_rows)
     # ...and scrub cost scales with capacity but stays a handful of bulk
     # reads, not per-item round trips.
     assert scrub_rows[-1][1] < 512 / 4

@@ -13,14 +13,14 @@ from repro.baselines import OneSidedHashMap
 from repro.rpc import RpcMap, RpcServer
 from repro.workloads import OpKind, Uniform, ycsb_names, ycsb_operations
 
-from helpers import build_cluster, print_table, record, run_once
+from helpers import build_cluster, get_seed, print_table, record, run_once
 
 ITEMS = 2_000
 OPS = 1_000
 
 
 def _load_keys():
-    return Uniform(ITEMS, seed=77)  # preloaded key population
+    return Uniform(ITEMS, seed=get_seed(77))  # preloaded key population
 
 
 def _run_ht_tree(name):
@@ -32,7 +32,7 @@ def _run_ht_tree(name):
     client = cluster.client()
     tree.get(client, 0)  # warm cache
     snapshot = client.metrics.snapshot()
-    for op in ycsb_operations(name, ITEMS, OPS, seed=5, max_scan=20):
+    for op in ycsb_operations(name, ITEMS, OPS, seed=get_seed(5), max_scan=20):
         if op.kind is OpKind.READ:
             tree.get(client, op.key)
         elif op.kind is OpKind.SCAN:
@@ -50,7 +50,7 @@ def _run_onesided_hash(name):
         table.put(loader, key, key)
     client = cluster.client()
     snapshot = client.metrics.snapshot()
-    for op in ycsb_operations(name, ITEMS, OPS, seed=5):
+    for op in ycsb_operations(name, ITEMS, OPS, seed=get_seed(5)):
         if op.kind is OpKind.READ:
             table.get(client, op.key)
         else:
@@ -66,7 +66,7 @@ def _run_rpc(name):
         rpc_map._data[key] = key
     client = cluster.client()
     snapshot = client.metrics.snapshot()
-    for op in ycsb_operations(name, ITEMS, OPS, seed=5):
+    for op in ycsb_operations(name, ITEMS, OPS, seed=get_seed(5)):
         if op.kind is OpKind.READ:
             rpc_map.get(client, op.key)
         else:

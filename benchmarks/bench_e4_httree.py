@@ -18,7 +18,7 @@ from repro.baselines import (
 )
 from repro.workloads import Uniform
 
-from helpers import build_cluster, print_table, record, run_once
+from helpers import build_cluster, get_seed, print_table, record, run_once
 
 ITEMS = 3_000
 LOOKUPS = 500
@@ -33,8 +33,8 @@ def _measure_lookups(structure, client, keys, lookups):
 
 
 def _scenario():
-    keys = Uniform(1 << 40, seed=4).sample_unique(ITEMS)
-    picks = keys[Uniform(ITEMS, seed=5).sample(LOOKUPS)]
+    keys = Uniform(1 << 40, seed=get_seed(4)).sample_unique(ITEMS)
+    picks = keys[Uniform(ITEMS, seed=get_seed(5)).sample(LOOKUPS)]
     rows = []
 
     # HT-tree (tables sized for low load factor, as the paper's 100K-element

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from helpers import build_cluster, print_table, record, run_once
+from helpers import build_cluster, get_seed, print_table, record, run_once
 
 LENGTH = 4_096
 GROUP = 64
@@ -21,7 +21,7 @@ def _refresh_cost(change_fraction):
     vector = cluster.refreshable_vector(LENGTH, group_size=GROUP)
     writer, reader = cluster.client(), cluster.client()
     vector.refresh(reader)
-    rng = np.random.default_rng(42)
+    rng = np.random.default_rng(get_seed(42))
     changed = rng.choice(LENGTH, size=max(1, int(LENGTH * change_fraction)), replace=False)
     vector.set_many(writer, {int(i): int(i) + 1 for i in changed})
 
@@ -53,7 +53,7 @@ def _dynamic_policy_trace():
     )
     writer, reader = cluster.client(), cluster.client()
     vector.refresh(reader)
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(get_seed(7))
     trace = []
     updates_per_round = 256
     for round_ in range(14):

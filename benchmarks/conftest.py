@@ -1,0 +1,32 @@
+"""Benchmark-suite options: explicit seed threading.
+
+``pytest benchmarks/ --seed N`` re-derives every bench's RNG streams
+from N (workload keys, fault schedules, stdlib ``random``). Omitting the
+flag keeps each bench's historical per-site seed so the recorded
+EXPERIMENTS.md numbers reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import helpers
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=None,
+        help="override every benchmark's RNG seed (default: per-bench seeds)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _bench_seed(request):
+    seed = request.config.getoption("--seed", default=None)
+    helpers.set_seed(seed)
+    random.seed(helpers.get_seed())
+    yield

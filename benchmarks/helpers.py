@@ -15,9 +15,27 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro import Cluster
+
+# Seed threading: ``pytest benchmarks/ --seed N`` (see conftest.py) makes
+# every bench derive its RNG streams from N. Without the flag each bench
+# keeps its historical per-site seed, so default runs reproduce the
+# numbers recorded in EXPERIMENTS.md bit-for-bit.
+_seed_override: Optional[int] = None
+
+
+def set_seed(seed: Optional[int]) -> None:
+    """Install a run-wide seed override (None restores per-site defaults)."""
+    global _seed_override
+    _seed_override = seed
+
+
+def get_seed(default: int = 1234) -> int:
+    """The seed a bench should use: the ``--seed`` override, else
+    ``default`` (the bench's historical per-site seed)."""
+    return default if _seed_override is None else _seed_override
 
 
 def build_cluster(**kwargs) -> Cluster:

@@ -37,24 +37,32 @@ from .core import (
     RefreshableVector,
 )
 from .fabric import (
+    BreakerPolicy,
     Client,
     CostModel,
     Fabric,
+    FaultInjector,
+    FaultPlan,
     IndirectionPolicy,
     InterleavedPlacement,
     Metrics,
     Profiler,
     RangePlacement,
     ReplicatedRegion,
+    RetryPolicy,
 )
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "BreakerPolicy",
     "Cluster",
     "Client",
     "CostModel",
     "Fabric",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
     "IndirectionPolicy",
     "InterleavedPlacement",
     "Metrics",

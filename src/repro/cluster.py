@@ -61,11 +61,28 @@ class Cluster:
     # Clients and cluster-wide accounting
     # ------------------------------------------------------------------
 
-    def client(self, name: Optional[str] = None) -> Client:
-        """Create and register a new client (compute node)."""
-        c = Client(self.fabric, name)
+    def client(self, name: Optional[str] = None, **kwargs) -> Client:
+        """Create and register a new client (compute node).
+
+        Keyword arguments (``retry_policy``, ``breaker_policy``,
+        ``auto_complete_indirection``) pass through to :class:`Client`.
+        """
+        c = Client(self.fabric, name, **kwargs)
         self.clients.append(c)
         return c
+
+    def inject_faults(self, seed: int = 0, plan=None):
+        """Attach a seeded transient-fault injector to the fabric.
+
+        Returns the :class:`~repro.fabric.faults.FaultInjector` so callers
+        can add rules / read stats; call again to replace it, or
+        ``cluster.fabric.set_fault_injector(None)`` to detach.
+        """
+        from .fabric import FaultInjector
+
+        injector = FaultInjector(seed, plan=plan)
+        self.fabric.set_fault_injector(injector)
+        return injector
 
     def total_metrics(self) -> Metrics:
         """Sum of all registered clients' metrics."""

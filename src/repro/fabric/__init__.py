@@ -21,8 +21,10 @@ from .errors import (
     AddressError,
     AlignmentError,
     AllocationError,
+    CircuitOpenError,
     ClientDeadError,
     FabricError,
+    FarTimeoutError,
     NodeUnavailableError,
     ProtectionError,
     QueueEmpty,
@@ -32,7 +34,9 @@ from .errors import (
     StaleCacheError,
 )
 from .fabric import Fabric, FabricResult, IndirectionPolicy
+from .faults import FaultInjector, FaultPlan, FaultRule, FaultStats
 from .latency import CostModel, SimClock, Stopwatch
+from .retry import BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy
 from .memory_node import MemoryNode, NodeStats
 from .metrics import Metrics, aggregate
 from .primitives import FarIovec, PendingIndirection
@@ -62,7 +66,9 @@ __all__ = [
     "AddressError",
     "AlignmentError",
     "AllocationError",
+    "CircuitOpenError",
     "ClientDeadError",
+    "FarTimeoutError",
     "NodeUnavailableError",
     "FabricError",
     "ProtectionError",
@@ -74,9 +80,17 @@ __all__ = [
     "Fabric",
     "FabricResult",
     "IndirectionPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
     "CostModel",
     "SimClock",
     "Stopwatch",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "RetryPolicy",
     "MemoryNode",
     "NodeStats",
     "Metrics",

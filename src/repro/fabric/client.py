@@ -18,6 +18,13 @@ Three facilities model real RDMA/Gen-Z NICs:
 * **ERROR-policy completion**: when cross-node indirection is refused
   (section 7.1), the client transparently completes the pending access
   with a second, direct round trip — and the metrics show the cost.
+* **Retry + circuit breaking**: every one-sided op passes through
+  :meth:`Client._issue`, which transparently retries transient fabric
+  faults (:mod:`repro.fabric.faults`) with exponential backoff and
+  deterministic jitter (:mod:`repro.fabric.retry`), charges timeout and
+  backoff time to the client's clock, and fails fast per memory node via
+  a circuit breaker once failures persist. Pass ``retry_policy=None`` /
+  ``breaker_policy=None`` to disable either layer.
 
 Clients also own a notification inbox; the notification subsystem
 (:mod:`repro.notify`) delivers into it and :meth:`poll_notifications`
@@ -30,12 +37,21 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Sequence
 
-from .errors import RemoteIndirectionError
+from .errors import (
+    CircuitOpenError,
+    FarTimeoutError,
+    NodeUnavailableError,
+    RemoteIndirectionError,
+)
 from .fabric import Fabric, FabricResult
 from .latency import SimClock
 from .metrics import Metrics
 from .primitives import FarIovec, PendingIndirection
+from .retry import BreakerPolicy, CircuitBreaker, RetryPolicy
 from .wire import WORD, decode_u64, encode_u64
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+DEFAULT_BREAKER_POLICY = BreakerPolicy()
 
 
 class Client:
@@ -49,6 +65,8 @@ class Client:
         name: Optional[str] = None,
         *,
         auto_complete_indirection: bool = True,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+        breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
     ) -> None:
         self.fabric = fabric
         self.client_id = Client._next_id
@@ -57,9 +75,23 @@ class Client:
         self.clock = SimClock()
         self.metrics = Metrics()
         self.auto_complete_indirection = auto_complete_indirection
+        self.retry_policy = retry_policy
+        self.breaker_policy = breaker_policy
+        self.breakers: dict[int, CircuitBreaker] = {}
         self.alive = True
         self._inbox: deque = deque()
         self._batch_window: Optional[list[float]] = None
+
+    @classmethod
+    def reset_ids(cls) -> None:
+        """Reset the global client-id counter.
+
+        Client ids seed names, lock tokens, and retry jitter; tests reset
+        the counter (see ``tests/conftest.py``) so those stay
+        deterministic regardless of which tests ran earlier in the
+        process.
+        """
+        cls._next_id = 0
 
     # ------------------------------------------------------------------
     # Crash simulation (section 2: separate fault domains — a client
@@ -114,8 +146,12 @@ class Client:
         m.indirection_forwards += forward_hops
         if atomic:
             m.atomic_ops += 1
+        # A latency-spike fault slows this op without failing it; the
+        # multiplier is 1.0 whenever no injector is attached or no spike
+        # fired, so the fault-free path charges exactly what it always has.
         self._advance(
-            self.cost_model.far_access_ns(
+            self.fabric.consume_fault_latency()
+            * self.cost_model.far_access_ns(
                 nbytes_read + nbytes_written, forward_hops=forward_hops
             )
         )
@@ -170,53 +206,133 @@ class Client:
             window.clear()
 
     # ------------------------------------------------------------------
+    # Retry / circuit-breaker machinery
+    # ------------------------------------------------------------------
+
+    def _breaker_for(self, node: int) -> Optional[CircuitBreaker]:
+        if self.breaker_policy is None:
+            return None
+        breaker = self.breakers.get(node)
+        if breaker is None:
+            breaker = self.breakers[node] = CircuitBreaker(node, self.breaker_policy)
+        return breaker
+
+    def _issue(self, address: int, op, *args):
+        """Issue one fabric operation with retry, backoff, and breaking.
+
+        Every one-sided op funnels through here. The flow per attempt is:
+        circuit-breaker gate → fault-injection check (operation boundary,
+        so a timeout has no memory-side effects) → the fabric call.
+        Transient failures (:class:`FarTimeoutError`, and
+        :class:`NodeUnavailableError` from fail-stop nodes) charge the
+        timeout-detection interval plus exponential backoff to this
+        client's clock — backoff serialises even inside a batch window —
+        and are retried up to the policy's attempt/time budgets. Failed
+        attempts are *not* counted as far accesses (those count completed
+        work); they appear in ``metrics.timeouts`` / ``retries`` /
+        ``backoff_ns`` instead. When the breaker for the target node is
+        (or trips) open, the op fails fast with
+        :class:`CircuitOpenError`.
+        """
+        self._check_alive()
+        fabric = self.fabric
+        policy = self.retry_policy
+        if policy is None and self.breaker_policy is None:
+            fabric.fault_check(address)
+            return op(*args)
+        node = fabric.node_of(address)
+        breaker = self._breaker_for(node)
+        if breaker is not None and not breaker.allow(self.clock.now_ns):
+            self.metrics.breaker_rejections += 1
+            raise CircuitOpenError(node, address)
+        attempts = policy.max_attempts if policy is not None else 1
+        token = (self.client_id << 48) ^ address
+        spent = 0.0
+        last: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                backoff = policy.backoff_ns(attempt - 1, token)
+                if (
+                    policy.budget_ns is not None
+                    and spent + backoff > policy.budget_ns
+                ):
+                    break
+                spent += backoff
+                self.metrics.retries += 1
+                self.metrics.backoff_ns += int(backoff)
+                self.clock.advance(backoff)
+            try:
+                fabric.fault_check(address)
+                result = op(*args)
+            except FarTimeoutError as err:
+                self.metrics.timeouts += 1
+                last = err
+            except NodeUnavailableError as err:
+                last = err
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+            # Failed attempt: any pending latency spike died with it, and
+            # the client only learns of the loss after a full timeout.
+            fabric.consume_fault_latency()
+            detect = self.cost_model.timeout_ns
+            spent += detect
+            self.clock.advance(detect)
+            if breaker is not None:
+                if breaker.record_failure(self.clock.now_ns):
+                    self.metrics.breaker_trips += 1
+                if not breaker.allow(self.clock.now_ns):
+                    break  # breaker opened mid-op: stop hammering the node
+            if policy is not None and policy.budget_ns is not None:
+                if spent >= policy.budget_ns:
+                    break
+        assert last is not None
+        raise last
+
+    # ------------------------------------------------------------------
     # Base one-sided operations
     # ------------------------------------------------------------------
 
     def read(self, address: int, length: int) -> bytes:
         """One-sided read: one far access."""
-        self._check_alive()
-        result = self.fabric.read(address, length)
+        result = self._issue(address, self.fabric.read, address, length)
         self._account_far(nbytes_read=length, segments=result.segments)
         return result.value
 
     def write(self, address: int, data: bytes) -> None:
         """One-sided write: one far access."""
-        self._check_alive()
-        result = self.fabric.write(address, bytes(data))
+        result = self._issue(address, self.fabric.write, address, bytes(data))
         self._account_far(nbytes_written=len(data), segments=result.segments)
 
     def read_u64(self, address: int) -> int:
         """Read one 64-bit word (one far access)."""
-        self._check_alive()
-        value = self.fabric.read_word(address)
+        value = self._issue(address, self.fabric.read_word, address)
         self._account_far(nbytes_read=WORD)
         return value
 
     def write_u64(self, address: int, value: int) -> None:
         """Write one 64-bit word (one far access)."""
-        self._check_alive()
-        self.fabric.write_word(address, value)
+        self._issue(address, self.fabric.write_word, address, value)
         self._account_far(nbytes_written=WORD)
 
     def cas(self, address: int, expected: int, new: int) -> tuple[int, bool]:
         """Atomic compare-and-swap (one far access)."""
-        self._check_alive()
-        old, ok = self.fabric.compare_and_swap(address, expected, new)
+        old, ok = self._issue(
+            address, self.fabric.compare_and_swap, address, expected, new
+        )
         self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
         return old, ok
 
     def faa(self, address: int, delta: int) -> int:
         """Atomic fetch-and-add (one far access); returns the old value."""
-        self._check_alive()
-        old = self.fabric.fetch_add(address, delta)
+        old = self._issue(address, self.fabric.fetch_add, address, delta)
         self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
         return old
 
     def swap(self, address: int, value: int) -> int:
         """Atomic exchange (one far access); returns the old value."""
-        self._check_alive()
-        old = self.fabric.swap(address, value)
+        old = self._issue(address, self.fabric.swap, address, value)
         self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
         return old
 
@@ -251,7 +367,9 @@ class Client:
     ) -> FabricResult:
         self._check_alive()
         try:
-            result = op(*args)
+            # args[0] is always the pointer address ``ad`` — the home node
+            # of the indirection, which is where a retry-worthy fault lands.
+            result = self._issue(args[0], op, *args)
         except RemoteIndirectionError as err:
             # The failed attempt still cost a full round trip (the home
             # node resolved the pointer, then bounced the request).
@@ -351,15 +469,14 @@ class Client:
 
     def rscatter(self, ad: int, lengths: Sequence[int]) -> list[bytes]:
         """Read a far range into local buffers: one far access."""
-        self._check_alive()
-        result = self.fabric.rscatter(ad, lengths)
+        result = self._issue(ad, self.fabric.rscatter, ad, lengths)
         self._account_far(nbytes_read=sum(lengths), segments=result.segments)
         return result.value
 
     def rgather(self, iovec: FarIovec) -> bytes:
         """Read a far iovec into one local buffer: one far access."""
-        self._check_alive()
-        result = self.fabric.rgather(iovec)
+        anchor = iovec[0][0] if iovec else 0
+        result = self._issue(anchor, self.fabric.rgather, iovec)
         self._account_far(
             nbytes_read=sum(length for _, length in iovec), segments=result.segments
         )
@@ -367,14 +484,13 @@ class Client:
 
     def wscatter(self, iovec: FarIovec, data: bytes) -> None:
         """Scatter a local buffer across a far iovec: one far access."""
-        self._check_alive()
-        result = self.fabric.wscatter(iovec, bytes(data))
+        anchor = iovec[0][0] if iovec else 0
+        result = self._issue(anchor, self.fabric.wscatter, iovec, bytes(data))
         self._account_far(nbytes_written=len(data), segments=result.segments)
 
     def wgather(self, ad: int, buffers: Sequence[bytes]) -> None:
         """Gather local buffers into one far range: one far access."""
-        self._check_alive()
-        result = self.fabric.wgather(ad, buffers)
+        result = self._issue(ad, self.fabric.wgather, ad, buffers)
         self._account_far(
             nbytes_written=sum(len(b) for b in buffers), segments=result.segments
         )

@@ -65,6 +65,44 @@ class NodeUnavailableError(FabricError):
         self.address = address
 
 
+class FarTimeoutError(FabricError):
+    """A one-sided operation timed out: the request (or its completion)
+    was dropped by the fabric.
+
+    The simulator injects these *before* the memory node executes the
+    operation (request-drop semantics), so a timed-out operation has no
+    far-memory side effects and is always safe to retry — including the
+    non-idempotent atomics and Fig. 1 pointer-bump primitives.
+    """
+
+    def __init__(self, node: int, address: int, reason: str = "") -> None:
+        detail = f"operation to node {node} timed out (address 0x{address:x})"
+        if reason:
+            detail = f"{detail}: {reason}"
+        super().__init__(detail)
+        self.node = node
+        self.address = address
+
+
+class CircuitOpenError(NodeUnavailableError):
+    """A client-side circuit breaker rejected the operation.
+
+    Subclasses :class:`NodeUnavailableError` deliberately: to callers the
+    node is *effectively* unavailable (the breaker observed repeated
+    failures), so failover paths written against ``NodeUnavailableError``
+    — e.g. :class:`~repro.fabric.replication.ReplicatedRegion` — degrade
+    gracefully without knowing breakers exist.
+    """
+
+    def __init__(self, node: int, address: int) -> None:
+        FabricError.__init__(
+            self,
+            f"circuit breaker for node {node} is open (address 0x{address:x})",
+        )
+        self.node = node
+        self.address = address
+
+
 class ClientDeadError(FabricError):
     """An operation was attempted through a crashed client."""
 

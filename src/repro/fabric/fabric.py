@@ -88,6 +88,7 @@ class Fabric(FarPrimitivesMixin):
         ]
         self._notifier: Optional[Notifier] = None
         self._failed_nodes: set[int] = set()
+        self._fault_injector = None
         for node in self.nodes:
             node.set_write_hook(self._on_node_write)
 
@@ -131,6 +132,38 @@ class Fabric(FarPrimitivesMixin):
     def node_available(self, node_id: int) -> bool:
         """True unless the node is currently failed."""
         return node_id not in self._failed_nodes
+
+    # -- transient faults (repro.fabric.faults) -------------------------
+
+    @property
+    def fault_injector(self):
+        """The attached :class:`~repro.fabric.faults.FaultInjector`, or None."""
+        return self._fault_injector
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach (or detach, with ``None``) a transient-fault injector."""
+        self._fault_injector = injector
+
+    def fault_check(self, address: int) -> None:
+        """Consult the fault injector at one operation boundary.
+
+        Clients call this once per one-sided op, *before* the fabric
+        executes anything, so an injected timeout has no memory-side
+        effects and the op is always safe to retry (request-drop
+        semantics — crucial for the non-idempotent ``faai``/``saai``/CAS
+        family). Raises :class:`~repro.fabric.errors.FarTimeoutError`
+        when a fault fires; latency spikes instead accumulate a pending
+        multiplier read back via :meth:`consume_fault_latency`.
+        """
+        if self._fault_injector is not None:
+            self._fault_injector.before_access(self.node_of(address), address)
+
+    def consume_fault_latency(self) -> float:
+        """Latency multiplier for the op just completed (1.0 when no
+        injector is attached or no spike fired)."""
+        if self._fault_injector is None:
+            return 1.0
+        return self._fault_injector.consume_latency_multiplier()
 
     def _node_for(self, location: Location, address: int) -> MemoryNode:
         from .errors import NodeUnavailableError

@@ -1,0 +1,331 @@
+"""Deterministic transient-fault injection for the simulated fabric.
+
+``Fabric.fail_node`` models *fail-stop* outages: a node is down until an
+operator repairs it. Real RDMA/Gen-Z dataplanes misbehave in far messier
+ways — requests time out, links glitch, switches congest — and the
+paper's availability argument (section 2: far memory is its own fault
+domain) only pays off if clients survive that mess. This module supplies
+the mess, reproducibly:
+
+* **Transient timeouts** — an operation's request is dropped and the
+  client sees :class:`~repro.fabric.errors.FarTimeoutError`. Injection
+  happens at the *operation boundary*, before the memory node executes
+  anything, so a timed-out op has no side effects and retrying it is
+  always safe (even for ``faai``/``saai``/CAS).
+* **Latency spikes** — the operation completes, but its simulated-time
+  charge is multiplied (congestion, retransmission at a lower layer).
+* **Flaky windows** — a node drops *every* operation for the next N
+  accesses, then self-heals: the middle ground between a lost packet and
+  a fail-stop crash (link flap, switch reboot, NIC reset).
+
+All randomness comes from one seeded :class:`random.Random`, consumed in
+a fixed per-access order, so a (seed, workload) pair replays the exact
+same fault sequence — benchmarks and the chaos tests depend on that.
+
+Scripted outages use :class:`FaultPlan`: a builder for fault rules pinned
+to explicit access-index windows (probability 1 inside the window), so a
+test can say "node 1 flaps at access 500 for 20 accesses" and get exactly
+that, every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import FarTimeoutError
+
+TIMEOUT = "timeout"
+LATENCY = "latency"
+FLAKY = "flaky"
+
+_KINDS = (TIMEOUT, LATENCY, FLAKY)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source: what to inject, where, when, and how often.
+
+    Attributes:
+        kind: ``"timeout"``, ``"latency"``, or ``"flaky"``.
+        probability: per-access injection probability in ``[0, 1]``.
+        node: only accesses routed to this node (``None`` = any node).
+        address_range: only accesses whose target address falls in
+            ``[lo, hi)`` (``None`` = any address).
+        multiplier: latency-charge multiplier (``kind == "latency"``).
+        duration: accesses a flaky window stays open (``kind == "flaky"``).
+        start_op / end_op: restrict the rule to the half-open access-index
+            window ``[start_op, end_op)`` (``end_op None`` = forever).
+    """
+
+    kind: str
+    probability: float
+    node: Optional[int] = None
+    address_range: Optional[tuple[int, int]] = None
+    multiplier: float = 8.0
+    duration: int = 8
+    start_op: int = 0
+    end_op: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.multiplier < 1.0:
+            raise ValueError("latency multiplier must be >= 1")
+        if self.duration < 1:
+            raise ValueError("flaky duration must be >= 1")
+
+    def matches(self, op_index: int, node: int, address: int) -> bool:
+        """Does this rule apply to the given access?"""
+        if op_index < self.start_op:
+            return False
+        if self.end_op is not None and op_index >= self.end_op:
+            return False
+        if self.node is not None and node != self.node:
+            return False
+        if self.address_range is not None:
+            lo, hi = self.address_range
+            if not lo <= address < hi:
+                return False
+        return True
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (for assertions and bench tables)."""
+
+    checks: int = 0
+    timeouts_injected: int = 0
+    spikes_injected: int = 0
+    flaky_windows_opened: int = 0
+    flaky_drops: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total operations disturbed (dropped or slowed)."""
+        return self.timeouts_injected + self.spikes_injected + self.flaky_drops
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "checks": self.checks,
+            "timeouts_injected": self.timeouts_injected,
+            "spikes_injected": self.spikes_injected,
+            "flaky_windows_opened": self.flaky_windows_opened,
+            "flaky_drops": self.flaky_drops,
+        }
+
+
+class FaultPlan:
+    """A scripted, reproducible chaos schedule.
+
+    Builder methods append :class:`FaultRule` entries; scheduled events
+    use probability 1 inside explicit access-index windows, while the
+    ``random_*`` methods add background probabilistic noise. Apply with
+    ``FaultInjector(seed=..., plan=plan)`` or :meth:`FaultInjector.apply`.
+    """
+
+    def __init__(self) -> None:
+        self.rules: list[FaultRule] = []
+
+    def _add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    # -- scheduled events (deterministic regardless of seed) ------------
+
+    def timeout_at(
+        self, op: int, *, node: Optional[int] = None, count: int = 1
+    ) -> "FaultPlan":
+        """Drop the ``count`` accesses starting at access index ``op``."""
+        return self._add(
+            FaultRule(TIMEOUT, 1.0, node=node, start_op=op, end_op=op + count)
+        )
+
+    def flaky_at(
+        self, op: int, *, node: int, duration: int = 8
+    ) -> "FaultPlan":
+        """Open a flaky window on ``node`` at access index ``op``."""
+        return self._add(
+            FaultRule(
+                FLAKY, 1.0, node=node, duration=duration,
+                start_op=op, end_op=op + 1,
+            )
+        )
+
+    def spike_between(
+        self,
+        start_op: int,
+        end_op: int,
+        *,
+        multiplier: float = 8.0,
+        node: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Multiply latency charges for every access in ``[start_op, end_op)``."""
+        return self._add(
+            FaultRule(
+                LATENCY, 1.0, node=node, multiplier=multiplier,
+                start_op=start_op, end_op=end_op,
+            )
+        )
+
+    # -- background noise (seed-dependent) ------------------------------
+
+    def random_timeouts(
+        self,
+        probability: float,
+        *,
+        node: Optional[int] = None,
+        address_range: Optional[tuple[int, int]] = None,
+    ) -> "FaultPlan":
+        """Drop each matching access with the given probability."""
+        return self._add(
+            FaultRule(TIMEOUT, probability, node=node, address_range=address_range)
+        )
+
+    def random_spikes(
+        self,
+        probability: float,
+        *,
+        multiplier: float = 8.0,
+        node: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Slow each matching access with the given probability."""
+        return self._add(
+            FaultRule(LATENCY, probability, node=node, multiplier=multiplier)
+        )
+
+    def random_flaky(
+        self, probability: float, *, duration: int = 8, node: Optional[int] = None
+    ) -> "FaultPlan":
+        """Open a ``duration``-access flaky window with the given probability."""
+        return self._add(
+            FaultRule(FLAKY, probability, node=node, duration=duration)
+        )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+class FaultInjector:
+    """Seeded transient-fault source attached to a :class:`Fabric`.
+
+    The fabric consults :meth:`before_access` once per client-issued
+    operation, *before* any memory-side state changes — see
+    ``Fabric.fault_check``. Latency spikes do not raise; they accumulate
+    a pending multiplier the client consumes when charging its clock.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        plan: Optional[FaultPlan] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.rules: list[FaultRule] = list(plan.rules) if plan else []
+        self.enabled = enabled
+        self.stats = FaultStats()
+        self.op_index = 0
+        self._flaky_until: dict[int, int] = {}  # node -> op index window closes
+        self._pending_multiplier = 1.0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def apply(self, plan: FaultPlan) -> "FaultInjector":
+        """Append a plan's rules to this injector."""
+        self.rules.extend(plan.rules)
+        return self
+
+    def add_rule(self, rule: FaultRule) -> "FaultInjector":
+        self.rules.append(rule)
+        return self
+
+    def clear_rules(self) -> None:
+        """Drop all rules and close any open flaky windows."""
+        self.rules.clear()
+        self._flaky_until.clear()
+
+    def reset(self) -> None:
+        """Back to the initial seeded state (same seed → same sequence)."""
+        self.rng = random.Random(self.seed)
+        self.stats = FaultStats()
+        self.op_index = 0
+        self._flaky_until.clear()
+        self._pending_multiplier = 1.0
+
+    # ------------------------------------------------------------------
+    # The injection point
+    # ------------------------------------------------------------------
+
+    def before_access(self, node: int, address: int) -> None:
+        """Called by the fabric at each operation boundary.
+
+        May raise :class:`FarTimeoutError`; never mutates far memory.
+        The RNG is consumed in a fixed order (one draw per probabilistic
+        rule per access) so fault sequences replay exactly.
+        """
+        if not self.enabled:
+            return
+        op = self.op_index
+        self.op_index += 1
+        self.stats.checks += 1
+
+        # An open flaky window drops everything to the node until it heals.
+        until = self._flaky_until.get(node)
+        if until is not None:
+            if op < until:
+                self.stats.flaky_drops += 1
+                raise FarTimeoutError(node, address, reason="flaky window")
+            del self._flaky_until[node]  # self-healed
+
+        drop: Optional[str] = None
+        for rule in self.rules:
+            if not rule.matches(op, node, address):
+                continue
+            hit = rule.probability >= 1.0 or self.rng.random() < rule.probability
+            if not hit:
+                continue
+            if rule.kind == LATENCY:
+                self._pending_multiplier = max(
+                    self._pending_multiplier, rule.multiplier
+                )
+                self.stats.spikes_injected += 1
+            elif rule.kind == FLAKY:
+                if node not in self._flaky_until:
+                    self._flaky_until[node] = op + 1 + rule.duration
+                    self.stats.flaky_windows_opened += 1
+                drop = drop or "flaky window opened"
+            elif drop is None:
+                drop = "request dropped"
+        if drop is not None:
+            if drop == "flaky window opened":
+                self.stats.flaky_drops += 1
+            else:
+                self.stats.timeouts_injected += 1
+            raise FarTimeoutError(node, address, reason=drop)
+
+    def consume_latency_multiplier(self) -> float:
+        """Pending latency multiplier for the just-completed operation
+        (resets to 1 after reading)."""
+        mult, self._pending_multiplier = self._pending_multiplier, 1.0
+        return mult
+
+    def flaky_nodes(self) -> list[int]:
+        """Nodes currently inside a flaky window."""
+        return [
+            node for node, until in self._flaky_until.items()
+            if self.op_index < until
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.seed}, rules={len(self.rules)}, "
+            f"enabled={self.enabled}, injected={self.stats.faults_injected})"
+        )

@@ -35,6 +35,11 @@ class CostModel:
             to a subscriber (no round trip: it is push, not poll).
         issue_ns: per-operation posting overhead when a client overlaps
             several operations in one batch window (doorbell batching).
+        timeout_ns: how long a client waits before declaring a one-sided
+            operation lost (completion-queue timeout). Deliberately an
+            order of magnitude above ``far_ns``: real dataplanes cannot
+            distinguish "slow" from "dead" any faster, which is exactly
+            why timeouts dominate tail latency under faults.
     """
 
     near_ns: float = 100.0
@@ -44,6 +49,7 @@ class CostModel:
     forward_hop_ns: float = 300.0
     notification_ns: float = 500.0
     issue_ns: float = 50.0
+    timeout_ns: float = 10_000.0
 
     def payload_ns(self, nbytes: int) -> float:
         """Wire cost of an ``nbytes`` payload beyond the inline allowance."""

@@ -18,6 +18,13 @@ Terminology used throughout the reproduction:
 * **network traversal** — individual fabric link crossings: 2 per round
   trip, plus 1 per memory-side forward hop. This is the quantity section
   7.1 says forwarding reduces.
+
+Under transient faults (:mod:`repro.fabric.faults`), ``far_accesses``
+remains the count of *completed* operations — every structural-cost
+claim in the paper and the benchmarks is about completed work. Failed
+attempts show up in ``timeouts`` (one per timed-out attempt), ``retries``
+(re-attempts issued), ``backoff_ns`` (simulated time spent backing off),
+and the ``breaker_*`` counters (client-side circuit breaking).
 """
 
 from __future__ import annotations
@@ -44,6 +51,11 @@ class Metrics:
     loss_warnings: int = 0
     rpcs: int = 0
     rpc_bytes: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    breaker_trips: int = 0
+    breaker_rejections: int = 0
+    backoff_ns: int = 0
     custom: Counter = field(default_factory=Counter)
 
     _INT_FIELDS = (
@@ -61,6 +73,11 @@ class Metrics:
         "loss_warnings",
         "rpcs",
         "rpc_bytes",
+        "retries",
+        "timeouts",
+        "breaker_trips",
+        "breaker_rejections",
+        "backoff_ns",
     )
 
     def bump(self, name: str, amount: int = 1) -> None:

@@ -9,8 +9,13 @@ replication, and with no memory-side processor the clients must drive it:
   section 4.2 — this is exactly the kind of multi-buffer transfer the
   primitive exists for);
 * **reads** go to the primary replica and fail over to the next on
-  :class:`~repro.fabric.errors.NodeUnavailableError` (one extra far
-  access per dead replica tried).
+  :class:`~repro.fabric.errors.NodeUnavailableError` *or*
+  :class:`~repro.fabric.errors.FarTimeoutError` (one extra far access
+  per dead replica tried). Timeout failover means a replica that is
+  merely flaky — client retries exhausted, circuit breaker open — is
+  skipped exactly like a fail-stopped one, which is the graceful half of
+  the availability argument: reads degrade to the next fault domain
+  instead of stalling.
 
 Scope: plain reads and writes only. Replicated *atomics* (a CAS that is
 atomic across copies) require consensus or a primary-backup commit
@@ -27,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..fabric.client import Client
-from ..fabric.errors import AddressError, NodeUnavailableError
+from ..fabric.errors import AddressError, FarTimeoutError, NodeUnavailableError
 from ..fabric.wire import WORD, decode_u64, encode_u64
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package-init import cycle
@@ -41,6 +46,7 @@ class ReplicationStats:
     writes: int = 0
     reads: int = 0
     failovers: int = 0
+    timeout_failovers: int = 0
 
 
 @dataclass
@@ -95,20 +101,28 @@ class ReplicatedRegion:
         self.stats.writes += 1
 
     def read(self, client: Client, offset: int, length: int) -> bytes:
-        """Read from the first live replica (failover on node failure)."""
+        """Read from the first live replica.
+
+        Fails over on fail-stop (``NodeUnavailableError``, including a
+        client-side open circuit breaker) *and* on transient-fault
+        exhaustion (``FarTimeoutError`` after the client's retry budget):
+        either way the next fault domain serves the read.
+        """
         self._check(offset, length)
         self.stats.reads += 1
-        last_error: NodeUnavailableError | None = None
+        last_error: NodeUnavailableError | FarTimeoutError | None = None
         for replica in self.replicas:
             try:
                 return client.read(replica + offset, length)
-            except NodeUnavailableError as err:
+            except (NodeUnavailableError, FarTimeoutError) as err:
                 # The failed attempt still cost a (timed-out) round trip.
                 client.charge_far_access(nbytes_read=0)
                 self.stats.failovers += 1
+                if isinstance(err, FarTimeoutError):
+                    self.stats.timeout_failovers += 1
                 last_error = err
         assert last_error is not None
-        raise last_error  # every replica's node is down
+        raise last_error  # every replica is down or unreachable
 
     def write_word(self, client: Client, offset: int, value: int) -> None:
         """Replicated word write (one far access)."""

@@ -29,6 +29,7 @@ from typing import Optional
 from ..alloc import FarAllocator, PlacementHint
 from ..core.mutex import MutexError
 from ..fabric.client import Client
+from ..fabric.errors import FarTimeoutError
 from ..fabric.wire import WORD, decode_u64, encode_u64
 
 UNLOCKED = 0
@@ -36,13 +37,33 @@ UNLOCKED = 0
 
 @dataclass
 class LeaseStats:
-    """Lock-lifecycle accounting, including crash recoveries."""
+    """Lock-lifecycle accounting, including crash recoveries.
 
+    ``attempts`` counts every :meth:`LeasedFarMutex.try_acquire` call
+    (successful or not) and ``timeouts`` the attempts abandoned because
+    the fabric kept timing out past the client's retry budget — together
+    they let recovery benchmarks report takeover *attempts*, not just the
+    takeovers that eventually succeeded.
+    """
+
+    attempts: int = 0
     acquires: int = 0
     renewals: int = 0
     releases: int = 0
     contended: int = 0
     takeovers: int = 0
+    timeouts: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "acquires": self.acquires,
+            "renewals": self.renewals,
+            "releases": self.releases,
+            "contended": self.contended,
+            "takeovers": self.takeovers,
+            "timeouts": self.timeouts,
+        }
 
 
 @dataclass
@@ -101,25 +122,50 @@ class LeasedFarMutex:
     def try_acquire(self, client: Client) -> bool:
         """One acquisition attempt: gather, CAS, lease write (3 far
         accesses on success). Expired ownership is taken over in the same
-        flow, charged to ``stats.takeovers``."""
-        owner, lease, epoch = self._snapshot(client)
+        flow, charged to ``stats.takeovers``.
+
+        Transient-fault tolerant: when the fabric keeps timing out past
+        the client's retry budget the attempt reports failure
+        (``stats.timeouts``) instead of raising, so acquisition loops —
+        including crash takeovers racing a flaky window — just try again.
+        If the timeout lands *after* the ownership CAS committed, the
+        client best-effort undoes the CAS; if even the undo is lost, the
+        situation is identical to acquiring and instantly crashing, which
+        the lease machinery already recovers via expiry + takeover.
+        """
+        self.stats.attempts += 1
         token = self._token(client)
-        if owner == UNLOCKED:
-            _, ok = client.cas(self.address, UNLOCKED, token)
-            if not ok:
+        cas_committed = False
+        took_over = False
+        try:
+            owner, lease, epoch = self._snapshot(client)
+            if owner == UNLOCKED:
+                _, ok = client.cas(self.address, UNLOCKED, token)
+                if not ok:
+                    self.stats.contended += 1
+                    return False
+            elif lease < epoch:
+                # The holder's lease expired (crashed or stalled): take over.
+                _, ok = client.cas(self.address, owner, token)
+                if not ok:
+                    self.stats.contended += 1
+                    return False
+                took_over = True
+            else:
                 self.stats.contended += 1
                 return False
-        elif lease < epoch:
-            # The holder's lease expired (it crashed or stalled): take over.
-            _, ok = client.cas(self.address, owner, token)
-            if not ok:
-                self.stats.contended += 1
-                return False
-            self.stats.takeovers += 1
-        else:
-            self.stats.contended += 1
+            cas_committed = True
+            client.write_u64(self.address + WORD, epoch + self.ttl_epochs)
+        except FarTimeoutError:
+            self.stats.timeouts += 1
+            if cas_committed:
+                try:  # undo the half-finished acquisition if the fabric allows
+                    client.cas(self.address, token, UNLOCKED)
+                except FarTimeoutError:
+                    pass  # equivalent to crashing while holding: lease expiry recovers
             return False
-        client.write_u64(self.address + WORD, epoch + self.ttl_epochs)
+        if took_over:
+            self.stats.takeovers += 1
         self.stats.acquires += 1
         return True
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 from ..core.queue import EMPTY, FarQueue
 from ..fabric.client import Client
-from ..fabric.errors import QueueFull
+from ..fabric.errors import FarTimeoutError, QueueFull
 from ..fabric.wire import WORD, decode_u64, encode_u64
 
 
@@ -42,6 +42,7 @@ class ScrubReport:
     migrations_completed: int = 0
     orphans_reenqueued: int = 0
     redelivery_possible: bool = False
+    restarts: int = 0
     unrecovered: list[int] = field(default_factory=list)
 
     @property
@@ -65,16 +66,57 @@ class QueueScrubber:
 
     def __init__(self, queue: FarQueue) -> None:
         self.queue = queue
+        # Orphan values rescued (slots already cleared) by a pass that was
+        # then abandoned on a timeout: they live only in scrubber memory
+        # until re-enqueued, so they must survive across restarted passes
+        # or recovery itself would lose items.
+        self._pending_reenqueue: list[int] = []
 
-    def scrub(self, client: Client, survivors: tuple[Client, ...] = ()) -> ScrubReport:
+    def scrub(
+        self,
+        client: Client,
+        survivors: tuple[Client, ...] = (),
+        *,
+        max_restarts: int = 2,
+    ) -> ScrubReport:
         """One full repair pass; the scrubbing client pays all far accesses.
 
         Pass the surviving clients in ``survivors``: recovery begins by
         quiescing them (flushing their pending slot clears), because a
         stale blind clear landing *after* the scrubber re-enqueues into
         the same slot would destroy the recovered value.
+
+        Transient-fault tolerant: every repair step is idempotent (repair
+        CAS, migrate-if-still-empty, clear-then-reenqueue), so when a
+        :class:`~repro.fabric.errors.FarTimeoutError` escapes the
+        client's retry budget mid-pass the scrubber simply restarts the
+        whole pass — already-completed repairs are no-ops the second time
+        — up to ``max_restarts`` times before letting the error
+        propagate. ``ScrubReport.restarts`` records how many passes were
+        abandoned.
         """
+        # One report accumulates across restarted passes: a repair finished
+        # before a pass was abandoned is a no-op when re-run, so it is
+        # counted exactly once — by the pass that performed it.
         report = ScrubReport()
+        last_error: FarTimeoutError | None = None
+        for restart in range(max_restarts + 1):
+            try:
+                self._scrub_pass(client, survivors, report)
+            except FarTimeoutError as err:
+                last_error = err
+                report.restarts = restart + 1
+                continue
+            return report
+        assert last_error is not None
+        raise last_error
+
+    def _scrub_pass(
+        self,
+        client: Client,
+        survivors: tuple[Client, ...],
+        report: ScrubReport,
+    ) -> ScrubReport:
         queue = self.queue
         for survivor in survivors:
             if survivor.alive and survivor.client_id in queue._clients:
@@ -133,7 +175,6 @@ class QueueScrubber:
         # Clear every orphan slot first (one scatter), *then* re-enqueue
         # the values: enqueueing first could advance the tail over a
         # not-yet-cleared orphan slot and overwrite it.
-        values: list[int] = []
         if orphans:
             raw = client.rgather(
                 [(queue.array_base + slot * WORD, WORD) for slot in orphans]
@@ -142,13 +183,17 @@ class QueueScrubber:
                 decode_u64(raw[i * WORD : (i + 1) * WORD])
                 for i in range(len(orphans))
             ]
+            self._pending_reenqueue.extend(v for v in values if v != EMPTY)
             client.wscatter(
                 [(queue.array_base + slot * WORD, WORD) for slot in orphans],
                 encode_u64(EMPTY) * len(orphans),
             )
-        for value in values:
-            if value == EMPTY:
-                continue
+        # Values are dropped from the pending list only once enqueue
+        # returns: a timeout mid-list leaves the remainder staged for the
+        # restarted pass (an enqueue that committed before its timeout is
+        # re-delivered — at-least-once, never lost).
+        while self._pending_reenqueue:
+            value = self._pending_reenqueue[0]
             try:
                 queue.enqueue(client, value)
                 report.orphans_reenqueued += 1
@@ -156,6 +201,7 @@ class QueueScrubber:
                 # No room right now: hand the value back to the caller to
                 # re-inject once consumers drain (never silently dropped).
                 report.unrecovered.append(value)
+            self._pending_reenqueue.pop(0)
         report.redelivery_possible = report.orphans_reenqueued > 0
         return report
 

@@ -10,6 +10,19 @@ from repro.fabric import Client, CostModel, Fabric, IndirectionPolicy, Interleav
 NODE_SIZE = 8 << 20  # 8 MiB per node keeps tests fast
 
 
+@pytest.fixture(autouse=True)
+def _deterministic_client_ids():
+    """Reset the process-global client-id counter before every test.
+
+    ``Client._next_id`` seeds client names, lease-lock tokens, and retry
+    jitter; without the reset those depend on how many clients earlier
+    tests created, making failures order-dependent and unreproducible in
+    isolation.
+    """
+    Client.reset_ids()
+    yield
+
+
 @pytest.fixture
 def cluster() -> Cluster:
     """A single-node cluster with reliable notifications."""

@@ -1,0 +1,234 @@
+"""Unit tests for the transient-fault injection fabric."""
+
+import pytest
+
+from repro import Cluster
+from repro.fabric import (
+    FarTimeoutError,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+
+NODE_SIZE = 8 << 20
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=2, node_size=NODE_SIZE)
+
+
+def raw_client(cluster, **kwargs):
+    """A client with retries and breakers off: faults surface directly."""
+    kwargs.setdefault("retry_policy", None)
+    kwargs.setdefault("breaker_policy", None)
+    return cluster.client(**kwargs)
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("meteor", 0.5)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultRule("timeout", 1.5)
+        with pytest.raises(ValueError):
+            FaultRule("timeout", -0.1)
+
+    def test_matching_scopes(self):
+        rule = FaultRule(
+            "timeout", 1.0, node=1, address_range=(100, 200), start_op=5, end_op=10
+        )
+        assert rule.matches(5, 1, 150)
+        assert not rule.matches(4, 1, 150)  # before window
+        assert not rule.matches(10, 1, 150)  # window is half-open
+        assert not rule.matches(5, 0, 150)  # wrong node
+        assert not rule.matches(5, 1, 200)  # address range is half-open
+
+
+class TestInjection:
+    def test_no_injector_no_faults(self, cluster):
+        c = raw_client(cluster)
+        addr = cluster.allocator.alloc(64)
+        for _ in range(100):
+            c.write_u64(addr, 1)
+        assert c.metrics.timeouts == 0
+
+    def test_certain_timeout_raises(self, cluster):
+        cluster.inject_faults(seed=1, plan=FaultPlan().random_timeouts(1.0))
+        c = raw_client(cluster)
+        addr = cluster.allocator.alloc(64)
+        with pytest.raises(FarTimeoutError):
+            c.read_u64(addr)
+
+    def test_timeout_has_no_side_effects(self, cluster):
+        """Request-drop semantics: a timed-out write/atomic never executed,
+        so retrying non-idempotent ops is safe."""
+        addr = cluster.allocator.alloc(64)
+        setup = raw_client(cluster)
+        setup.write_u64(addr, 7)
+        injector = cluster.inject_faults(
+            seed=1, plan=FaultPlan().random_timeouts(1.0)
+        )
+        c = raw_client(cluster)
+        with pytest.raises(FarTimeoutError):
+            c.write_u64(addr, 99)
+        with pytest.raises(FarTimeoutError):
+            c.faa(addr, 5)
+        injector.enabled = False
+        assert c.read_u64(addr) == 7  # untouched by the dropped ops
+
+    def test_node_scoped_timeouts(self, cluster):
+        node1_base = cluster.fabric.placement.node_size
+        cluster.inject_faults(
+            seed=1, plan=FaultPlan().random_timeouts(1.0, node=1)
+        )
+        c = raw_client(cluster)
+        addr0 = cluster.allocator.alloc(64)
+        assert cluster.fabric.node_of(addr0) == 0
+        c.write_u64(addr0, 1)  # node 0 unaffected
+        with pytest.raises(FarTimeoutError):
+            c.read_u64(node1_base)
+
+    def test_address_scoped_timeouts(self, cluster):
+        a = cluster.allocator.alloc(64)
+        b = cluster.allocator.alloc(64)
+        cluster.inject_faults(
+            seed=1, plan=FaultPlan().random_timeouts(1.0, address_range=(b, b + 64))
+        )
+        c = raw_client(cluster)
+        c.write_u64(a, 1)
+        with pytest.raises(FarTimeoutError):
+            c.write_u64(b, 1)
+
+    def test_latency_spike_slows_but_succeeds(self, cluster):
+        addr = cluster.allocator.alloc(64)
+        baseline = raw_client(cluster)
+        baseline.read_u64(addr)
+        base_ns = baseline.clock.now_ns
+
+        cluster.inject_faults(
+            seed=1, plan=FaultPlan().random_spikes(1.0, multiplier=8.0)
+        )
+        c = raw_client(cluster)
+        assert c.read_u64(addr) == 0
+        assert c.clock.now_ns == pytest.approx(8.0 * base_ns)
+        assert c.metrics.far_accesses == 1  # slowed, not failed
+
+    def test_flaky_window_opens_and_self_heals(self, cluster):
+        addr = cluster.allocator.alloc(64)
+        injector = cluster.inject_faults(
+            seed=1, plan=FaultPlan().flaky_at(0, node=0, duration=3)
+        )
+        c = raw_client(cluster)
+        for _ in range(4):  # the opening access + 3 in-window accesses drop
+            with pytest.raises(FarTimeoutError):
+                c.read_u64(addr)
+        assert c.read_u64(addr) == 0  # self-healed
+        assert injector.stats.flaky_windows_opened == 1
+        assert injector.stats.flaky_drops == 4
+
+    def test_scheduled_timeout_fires_at_exact_op(self, cluster):
+        addr = cluster.allocator.alloc(64)
+        cluster.inject_faults(seed=1, plan=FaultPlan().timeout_at(2))
+        c = raw_client(cluster)
+        c.write_u64(addr, 1)  # access 0
+        c.write_u64(addr, 2)  # access 1
+        with pytest.raises(FarTimeoutError):
+            c.write_u64(addr, 3)  # access 2: dropped
+        c.write_u64(addr, 4)  # access 3: fine again
+
+    def test_spike_window(self, cluster):
+        addr = cluster.allocator.alloc(64)
+        cluster.inject_faults(
+            seed=1, plan=FaultPlan().spike_between(1, 2, multiplier=4.0)
+        )
+        c = raw_client(cluster)
+        c.read_u64(addr)
+        t1 = c.clock.now_ns
+        c.read_u64(addr)  # spiked
+        t2 = c.clock.now_ns - t1
+        assert t2 == pytest.approx(4.0 * t1)
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        cluster = Cluster(node_count=2, node_size=NODE_SIZE)
+        injector = cluster.inject_faults(
+            seed=seed,
+            plan=FaultPlan()
+            .random_timeouts(0.2)
+            .random_spikes(0.1, multiplier=4.0)
+            .random_flaky(0.02, duration=4),
+        )
+        c = raw_client(cluster)
+        addr = cluster.allocator.alloc(1024)
+        outcomes = []
+        for i in range(200):
+            try:
+                c.write_u64(addr + (i % 16) * 8, i)
+                outcomes.append("ok")
+            except FarTimeoutError:
+                outcomes.append("timeout")
+        return outcomes, injector.stats.as_dict()
+
+    def test_same_seed_same_faults(self):
+        out1, stats1 = self._run(42)
+        out2, stats2 = self._run(42)
+        assert out1 == out2
+        assert stats1 == stats2
+        assert stats1["timeouts_injected"] + stats1["flaky_drops"] > 0
+
+    def test_different_seed_different_faults(self):
+        out1, _ = self._run(42)
+        out2, _ = self._run(43)
+        assert out1 != out2
+
+    def test_reset_replays(self):
+        injector = FaultInjector(seed=9, plan=FaultPlan().random_timeouts(0.5))
+
+        def drive():
+            hits = []
+            for i in range(50):
+                try:
+                    injector.before_access(0, i * 8)
+                    hits.append(False)
+                except FarTimeoutError:
+                    hits.append(True)
+            return hits
+
+        first = drive()
+        injector.reset()
+        assert drive() == first
+
+
+class TestInjectorPlumbing:
+    def test_disabled_injector_is_silent(self, cluster):
+        injector = cluster.inject_faults(
+            seed=1, plan=FaultPlan().random_timeouts(1.0)
+        )
+        injector.enabled = False
+        c = raw_client(cluster)
+        addr = cluster.allocator.alloc(64)
+        c.write_u64(addr, 1)
+        assert injector.stats.checks == 0
+
+    def test_detach(self, cluster):
+        cluster.inject_faults(seed=1, plan=FaultPlan().random_timeouts(1.0))
+        cluster.fabric.set_fault_injector(None)
+        c = raw_client(cluster)
+        addr = cluster.allocator.alloc(64)
+        c.write_u64(addr, 1)
+
+    def test_stats_counts(self, cluster):
+        injector = cluster.inject_faults(
+            seed=1, plan=FaultPlan().random_spikes(1.0, multiplier=2.0)
+        )
+        c = raw_client(cluster)
+        addr = cluster.allocator.alloc(64)
+        c.read_u64(addr)
+        c.read_u64(addr)
+        assert injector.stats.checks == 2
+        assert injector.stats.spikes_injected == 2
+        assert injector.stats.faults_injected == 2

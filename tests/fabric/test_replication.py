@@ -3,7 +3,12 @@
 import pytest
 
 from repro import Cluster
-from repro.fabric.errors import AddressError, NodeUnavailableError
+from repro.fabric import BreakerPolicy, FaultPlan, RetryPolicy
+from repro.fabric.errors import (
+    AddressError,
+    FarTimeoutError,
+    NodeUnavailableError,
+)
 from repro.fabric.replication import ReplicatedRegion
 
 NODE_SIZE = 8 << 20
@@ -84,6 +89,42 @@ class TestFailover:
         with pytest.raises(NodeUnavailableError):
             region.read_word(c, 0)
 
+    def test_primary_failed_mid_workload(self, cluster, region):
+        """The primary dies *between* reads: earlier reads hit it, later
+        reads fail over — and the stats ledger separates the two."""
+        c = cluster.client()
+        region.write_word(c, 0, 11)
+        assert region.read_word(c, 0) == 11  # primary serving
+        assert region.stats.failovers == 0
+        cluster.fabric.fail_node(cluster.fabric.node_of(region.replicas[0]))
+        for _ in range(3):
+            assert region.read_word(c, 0) == 11  # secondary serving
+        assert region.stats.failovers == 3
+        assert region.stats.reads == 4
+
+    def test_write_raises_when_any_replica_down(self, cluster, region):
+        # Breaker off: both failing iterations anchor at replica 0's node,
+        # and 8 consecutive failures there would trip it — this test is
+        # about fail-stop write semantics, not breaker behaviour.
+        c = cluster.client(breaker_policy=None)
+        for index in range(len(region.replicas)):
+            node = cluster.fabric.node_of(region.replicas[index])
+            cluster.fabric.fail_node(node)
+            with pytest.raises(NodeUnavailableError):
+                region.write_word(c, 0, 1)
+            cluster.fabric.repair_node(node)
+        region.write_word(c, 0, 1)  # all repaired: writes flow again
+
+    def test_failover_accounting_all_down(self, cluster, region):
+        c = cluster.client()
+        for replica in region.replicas:
+            cluster.fabric.fail_node(cluster.fabric.node_of(replica))
+        with pytest.raises(NodeUnavailableError):
+            region.read_word(c, 0)
+        # Every replica was tried and charged as a failover.
+        assert region.stats.failovers == len(region.replicas)
+        assert region.stats.timeout_failovers == 0
+
     def test_resync_after_repair(self, cluster, region):
         c = cluster.client()
         region.write_word(c, 0, 1)
@@ -98,3 +139,46 @@ class TestFailover:
         assert cluster.fabric.read_word(region.replicas[0]) == cluster.fabric.read_word(
             region.replicas[1]
         )
+
+
+class TestTimeoutFailover:
+    """Degradation under transient faults, not just fail-stop."""
+
+    def test_read_fails_over_on_timeout(self, cluster, region):
+        c = cluster.client(retry_policy=RetryPolicy(max_attempts=2))
+        region.write_word(c, 0, 21)
+        primary_node = cluster.fabric.node_of(region.replicas[0])
+        cluster.inject_faults(
+            seed=3, plan=FaultPlan().random_timeouts(1.0, node=primary_node)
+        )
+        assert region.read_word(c, 0) == 21  # secondary serves
+        assert region.stats.failovers == 1
+        assert region.stats.timeout_failovers == 1
+        assert c.metrics.timeouts == 2  # both attempts at the primary
+
+    def test_read_fails_over_on_open_breaker(self, cluster, region):
+        c = cluster.client(
+            retry_policy=RetryPolicy(max_attempts=2),
+            breaker_policy=BreakerPolicy(failure_threshold=2, cooldown_ns=1e12),
+        )
+        region.write_word(c, 0, 33)
+        primary_node = cluster.fabric.node_of(region.replicas[0])
+        cluster.inject_faults(
+            seed=3, plan=FaultPlan().random_timeouts(1.0, node=primary_node)
+        )
+        assert region.read_word(c, 0) == 33  # trips the primary's breaker
+        assert c.metrics.breaker_trips == 1
+        # Subsequent reads fail over instantly via the open breaker: no
+        # timeout waits, still correct data.
+        timeouts_before = c.metrics.timeouts
+        assert region.read_word(c, 0) == 33
+        assert c.metrics.timeouts == timeouts_before
+        assert c.metrics.breaker_rejections >= 1
+
+    def test_all_replicas_flaky_raises_timeout(self, cluster, region):
+        c = cluster.client(retry_policy=RetryPolicy(max_attempts=2))
+        region.write_word(c, 0, 1)
+        cluster.inject_faults(seed=3, plan=FaultPlan().random_timeouts(1.0))
+        with pytest.raises(FarTimeoutError):
+            region.read_word(c, 0)
+        assert region.stats.timeout_failovers == len(region.replicas)
