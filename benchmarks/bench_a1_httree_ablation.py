@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.workloads import Uniform
 
-from helpers import build_cluster, print_table, record, run_once
+from helpers import build_cluster, get_seed, print_table, record, run_once
 
 ITEMS = 2_000
 LOOKUPS = 600
@@ -25,7 +25,7 @@ def _cache_mode_run(mode):
     tree = cluster.ht_tree(bucket_count=64, max_chain=4, cache_mode=mode)
     writer = cluster.client()
     reader = cluster.client()
-    keys = Uniform(1 << 40, seed=31).sample_unique(ITEMS)
+    keys = Uniform(1 << 40, seed=get_seed(31)).sample_unique(ITEMS)
     # Interleave: reader looks up while the writer grows the map through
     # splits, so reader caches keep going stale.
     tree.put(writer, int(keys[0]), 0)
@@ -51,10 +51,10 @@ def _split_threshold_run(max_chain):
     cluster = build_cluster()
     tree = cluster.ht_tree(bucket_count=64, max_chain=max_chain)
     client = cluster.client()
-    keys = Uniform(1 << 40, seed=32).sample_unique(ITEMS)
+    keys = Uniform(1 << 40, seed=get_seed(32)).sample_unique(ITEMS)
     for i, key in enumerate(keys):
         tree.put(client, int(key), i)
-    picks = keys[Uniform(ITEMS, seed=33).sample(LOOKUPS)]
+    picks = keys[Uniform(ITEMS, seed=get_seed(33)).sample(LOOKUPS)]
     snapshot = client.metrics.snapshot()
     for key in picks:
         tree.get(client, int(key))

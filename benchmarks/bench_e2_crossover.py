@@ -21,7 +21,7 @@ from repro.baselines import OneSidedHashMap
 from repro.rpc import RpcMap, RpcServer
 from repro.workloads import Uniform
 
-from helpers import build_cluster, print_table, record, run_once
+from helpers import build_cluster, get_seed, print_table, record, run_once
 
 ITEMS = 2_000
 OPS_PER_CLIENT = 300
@@ -40,7 +40,7 @@ def _run_rpc(client_count, keys):
     for key in keys:
         rpc_map._data[int(key)] = 1
     clients = [cluster.client() for _ in range(client_count)]
-    lookups = Uniform(ITEMS, seed=9).sample(OPS_PER_CLIENT * client_count)
+    lookups = Uniform(ITEMS, seed=get_seed(9)).sample(OPS_PER_CLIENT * client_count)
     for i, rank in enumerate(lookups):
         rpc_map.get(clients[i % client_count], int(keys[rank]))
     return _throughput_mops(clients, len(lookups))
@@ -53,7 +53,7 @@ def _run_onesided_hash(client_count, keys):
     for key in keys:
         table.put(loader, int(key), 1)
     clients = [cluster.client() for _ in range(client_count)]
-    lookups = Uniform(ITEMS, seed=9).sample(OPS_PER_CLIENT * client_count)
+    lookups = Uniform(ITEMS, seed=get_seed(9)).sample(OPS_PER_CLIENT * client_count)
     for i, rank in enumerate(lookups):
         table.get(clients[i % client_count], int(keys[rank]))
     far = sum(c.metrics.far_accesses for c in clients)
@@ -71,7 +71,7 @@ def _run_ht_tree(client_count, keys):
         tree.get(c, int(keys[0]))  # warm tree caches
         c.metrics.reset()
         c.clock.reset()
-    lookups = Uniform(ITEMS, seed=9).sample(OPS_PER_CLIENT * client_count)
+    lookups = Uniform(ITEMS, seed=get_seed(9)).sample(OPS_PER_CLIENT * client_count)
     for i, rank in enumerate(lookups):
         tree.get(clients[i % client_count], int(keys[rank]))
     far = sum(c.metrics.far_accesses for c in clients)
@@ -79,7 +79,7 @@ def _run_ht_tree(client_count, keys):
 
 
 def _scenario():
-    keys = Uniform(1 << 40, seed=1).sample_unique(ITEMS)
+    keys = Uniform(1 << 40, seed=get_seed(1)).sample_unique(ITEMS)
     rows = []
     crossover = None
     for n in CLIENT_COUNTS:

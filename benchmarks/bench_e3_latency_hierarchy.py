@@ -34,7 +34,7 @@ def _scenario():
     near = timed("near access (cache touch)", lambda: client.touch_local())
     far_read = timed("far read (8B)", lambda: client.read_u64(addr))
     timed("far atomic (FAA)", lambda: client.faa(addr, 1))
-    far_1kb = timed("far read (1 KiB)", lambda: client.read(addr, 512), count=200)
+    timed("far read (1 KiB)", lambda: client.read(addr, 512), count=200)
     batched_start = client.clock.now_ns
     for _ in range(100):
         with client.batch():

@@ -19,7 +19,7 @@ from repro.apps.monitoring import (
 )
 from repro.workloads import MetricStream
 
-from helpers import build_cluster, print_table, record, run_once
+from helpers import build_cluster, get_seed, print_table, record, run_once
 
 N = 3_000
 BINS = 100
@@ -62,7 +62,7 @@ def _run_histogram(k, samples):
 def _scenario():
     rows = []
     for k in (1, 2, 4, 8):
-        samples = MetricStream(bins=BINS, spike_probability=0.01, seed=21).samples(N)
+        samples = MetricStream(bins=BINS, spike_probability=0.01, seed=get_seed(21)).samples(N)
         naive_far, naive_alarms = _run_naive(k, samples)
         hist_far, m, hist_alarms = _run_histogram(k, samples)
         rows.append(
@@ -71,7 +71,7 @@ def _scenario():
         )
     tail_rows = []
     for p in (0.0, 0.01, 0.05, 0.2):
-        samples = MetricStream(bins=BINS, spike_probability=p, seed=22).samples(N)
+        samples = MetricStream(bins=BINS, spike_probability=p, seed=get_seed(22)).samples(N)
         hist_far, m, _ = _run_histogram(4, samples)
         tail_rows.append((p, hist_far, m, m / N))
     return rows, tail_rows

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from repro.alloc import near, on_node
 from repro.fabric import IndirectionPolicy
-from repro.fabric.wire import WORD
 
 from helpers import build_cluster, print_table, record, run_once
 

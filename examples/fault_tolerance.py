@@ -52,7 +52,7 @@ def main() -> None:
         if not lease.try_acquire(worker):
             return False
         try:
-            job = q.dequeue(worker)
+            q.dequeue(worker)
         except QueueEmpty:
             lease.release(worker)
             return False

@@ -42,7 +42,6 @@ def main() -> None:
     tree = cluster.ht_tree(bucket_count=1024, max_chain=4)
     for k in range(100):
         tree.put(alice, k, k * k)
-    before = bob.metrics.snapshot()
     tree.get(bob, 7)  # first lookup loads bob's tree cache
     assert tree.get(bob, 7) == 49
     repeat = bob.metrics.snapshot()

@@ -63,7 +63,6 @@ def far_queue_run():
         f"empty rejections: {stats.empty_rejections}, "
         f"claims: {stats.claims_registered}"
     )
-    queue_far = stats.enqueues + stats.dequeues  # fast-path ideal
     print(
         f"  far accesses (whole workload, incl. task records): {total.far_accesses}"
     )

@@ -20,7 +20,7 @@ reclamation bookkeeping — only the eventual ``allocator.free``.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..fabric.errors import AllocationError
 from .allocator import FarAllocator

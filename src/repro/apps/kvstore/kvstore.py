@@ -178,6 +178,52 @@ class FarKVStore:
                 self.ops_counter.increment(client)
             return removed
 
+    def multiget(
+        self, client: Client, keys: "list[str]"
+    ) -> "list[Optional[bytes]]":
+        """Fetch many keys with lookups and blob reads pipelined
+        (:meth:`FarBlobStore.multiget`): per-key far accesses match
+        :meth:`get`; the round trips overlap up to the client's QP depth."""
+        with self.profiler.measure(client, "multiget"):
+            raws = self.blobs.multiget(client, [name_hash(key) for key in keys])
+            out: "list[Optional[bytes]]" = []
+            for key, raw in zip(keys, raws):
+                if raw is None:
+                    out.append(None)
+                    continue
+                stored_key, value = self._unpack(raw)
+                if stored_key != key:
+                    raise KeyCollisionError(
+                        f"{key!r} collides with {stored_key!r} in the index"
+                    )
+                out.append(value)
+            return out
+
+    def multiput(self, client: Client, items: "dict[str, bytes]") -> None:
+        """Store many pairs: collision checks, blob writes (one shared
+        fence), and index upserts each run as one pipelined stage; the
+        operations counter takes one atomic add for the whole batch."""
+        with self.profiler.measure(client, "multiput"):
+            pairs = list(items.items())
+            hashes = [name_hash(key) for key, _ in pairs]
+            existing = self.blobs.multiget(client, hashes)
+            for (key, _), raw in zip(pairs, existing):
+                if raw is not None:
+                    stored_key, _ = self._unpack(raw)
+                    if stored_key != key:
+                        raise KeyCollisionError(
+                            f"{key!r} collides with {stored_key!r} in the index"
+                        )
+            self.blobs.multiput(
+                client,
+                [
+                    (index_key, self._pack(key, value))
+                    for index_key, (key, value) in zip(hashes, pairs)
+                ],
+            )
+            if pairs:
+                self.ops_counter.add(client, len(pairs))
+
     def contains(self, client: Client, key: str) -> bool:
         """Membership test (one index lookup)."""
         return self.index.get(client, name_hash(key)) is not None

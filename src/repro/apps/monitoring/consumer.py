@@ -188,7 +188,7 @@ class AlarmConsumer:
             if level_name is None:
                 self.client.deliver(n)  # not ours
                 continue
-            level = next(l for l in self.levels if l.name == level_name)
+            level = next(lv for lv in self.levels if lv.name == level_name)
             alarm = self._bump(level, n.coalesced_count)
             if alarm is not None:
                 new_alarms.append(alarm)
@@ -198,12 +198,21 @@ class AlarmConsumer:
         """Sum alarm-tail counts over the last ``lookback`` completed
         windows (one far access per window) — the paper's multi-window
         correlation use."""
-        totals = []
         tail_low = min(level.low_bin for level in self.levels)
-        for storage in self.ring.previous_storages(lookback):
-            raw = self.client.read(
-                storage + tail_low * WORD, (self.ring.bins - tail_low) * WORD
+        # One read per window, all independent: pipeline them (overlap
+        # bounded by the client's QP depth; same per-window access count).
+        futures = [
+            self.client.submit(
+                "read",
+                storage + tail_low * WORD,
+                (self.ring.bins - tail_low) * WORD,
+                signaled=False,
             )
+            for storage in self.ring.previous_storages(lookback)
+        ]
+        totals = []
+        for future in futures:
+            raw = future.result()
             totals.append(
                 sum(
                     decode_u64(raw[i * WORD : (i + 1) * WORD])

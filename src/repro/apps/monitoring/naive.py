@@ -92,11 +92,24 @@ class NaiveConsumer:
 
     def poll(self) -> list[Alarm]:
         """Read the published count, then each new sample (one far access
-        per sample — the ``k * N`` term of the naive formula)."""
+        per sample — the ``k * N`` term of the naive formula).
+
+        The sample reads are independent once the count is known, so they
+        are submitted as a pipeline (overlap bounded by the client's QP
+        depth): the naive design's access *count* is unchanged — the
+        formula is about transfers, and overlap cannot hide the k * N
+        work — it just stops paying serial latency on top.
+        """
         available = self.client.read_u64(self.monitor.count_addr)
+        futures = [
+            self.client.submit(
+                "read_u64", self.monitor.log_base + i * WORD, signaled=False
+            )
+            for i in range(self.cursor, available)
+        ]
         new_alarms: list[Alarm] = []
-        while self.cursor < available:
-            sample = self.client.read_u64(self.monitor.log_base + self.cursor * WORD)
+        for future in futures:
+            sample = future.result()
             self.cursor += 1
             self.samples_read += 1
             new_alarms.extend(self._inspect(sample))

@@ -121,6 +121,43 @@ class GradientChannel:
         self.allocator.free(region)
         return gradient
 
+    def receive_many(
+        self, client: Client, max_items: Optional[int] = None
+    ) -> "list[dict[int, float]]":
+        """Drain available gradients with every stage pipelined: the
+        dequeues overlap (:meth:`FarQueue.dequeue_many`), then the count
+        words across all blobs, then the payloads. Per-gradient far
+        accesses match :meth:`receive`; only the latency overlaps."""
+        limit = max_items if max_items is not None else self.queue.capacity
+        regions = self.queue.dequeue_many(client, limit)
+        count_futures = [
+            client.submit("read", region, WORD, signaled=False)
+            for region in regions
+        ]
+        body_futures = []
+        for region, future in zip(regions, count_futures):
+            count = decode_u64(future.result())
+            body_futures.append(
+                (
+                    region,
+                    count,
+                    client.submit(
+                        "read", region + WORD, count * 2 * WORD, signaled=False
+                    ),
+                )
+            )
+        gradients: "list[dict[int, float]]" = []
+        for region, count, future in body_futures:
+            raw = future.result()
+            gradient: dict[int, float] = {}
+            for i in range(count):
+                index = decode_u64(raw[i * 2 * WORD : i * 2 * WORD + WORD])
+                word = decode_u64(raw[i * 2 * WORD + WORD : (i + 1) * 2 * WORD])
+                gradient[index] = word_to_float(word)
+            self.allocator.free(region)
+            gradients.append(gradient)
+        return gradients
+
 
 @dataclass
 class Coordinator:
@@ -146,6 +183,27 @@ class Coordinator:
         if updates:
             self.params.set_many(self.client, updates)
             self.updates_applied += 1
+
+    def apply_many(self, gradients: "list[dict[int, float]]") -> None:
+        """Apply a batch of gradients in arrival order, publishing the
+        final coordinates with one :meth:`RefreshableVector.set_many` (one
+        far access for the whole batch). SGD steps accumulate in
+        ``_local`` first, so the published weights are identical to
+        :meth:`apply` called per gradient — only each coordinate's
+        intermediate values are skipped on the wire."""
+        updates: dict[int, int] = {}
+        applied = 0
+        for gradient in gradients:
+            touched = False
+            for index, g in gradient.items():
+                self._local[index] -= self.learning_rate * g
+                updates[index] = float_to_word(float(self._local[index]))
+                touched = True
+            if touched:
+                applied += 1
+        if updates:
+            self.params.set_many(self.client, updates)
+            self.updates_applied += applied
 
     def weights(self) -> np.ndarray:
         """The coordinator's authoritative weight view (near memory)."""
@@ -256,8 +314,7 @@ def run_training(
         for worker in team:
             gradient = worker.step(rng)
             channel.send(worker.client, gradient)
-        while (gradient := channel.receive(coordinator.client)) is not None:
-            coordinator.apply(gradient)
+        coordinator.apply_many(channel.receive_many(coordinator.client))
         losses.append(loss(coordinator.weights()))
     return TrainingReport(
         losses=losses,

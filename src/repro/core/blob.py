@@ -107,6 +107,85 @@ class FarBlobStore:
         )
         return first[WORD:] + rest
 
+    def multiget(
+        self, client: Client, keys: "list[int]"
+    ) -> "list[Optional[bytes]]":
+        """Fetch many blobs with every stage pipelined: one
+        :meth:`HTTree.multiget` for the regions, then the first reads
+        overlapped, then the overflow tail reads overlapped. Per-key far
+        accesses match :meth:`get` exactly."""
+        regions = self.index.multiget(client, keys)
+        firsts = []
+        for i, region in enumerate(regions):
+            if region is None:
+                continue
+            self.stats.gets += 1
+            firsts.append(
+                (
+                    i,
+                    region,
+                    client.submit(
+                        "read", region, WORD + self.inline_hint, signaled=False
+                    ),
+                )
+            )
+        out: "list[Optional[bytes]]" = [None] * len(keys)
+        overflow = []
+        for i, region, future in firsts:
+            first = future.result()
+            length = decode_u64(first[:WORD])
+            if length <= self.inline_hint:
+                out[i] = first[WORD : WORD + length]
+            else:
+                self.stats.overflow_reads += 1
+                overflow.append(
+                    (
+                        i,
+                        first,
+                        client.submit(
+                            "read",
+                            region + WORD + self.inline_hint,
+                            length - self.inline_hint,
+                            signaled=False,
+                        ),
+                    )
+                )
+        for i, first, future in overflow:
+            out[i] = first[WORD:] + future.result()
+        return out
+
+    def multiput(
+        self,
+        client: Client,
+        items: "list[tuple[int, bytes]]",
+        *,
+        hint: Optional[PlacementHint] = None,
+    ) -> None:
+        """Store many blobs: replaced-region lookups via
+        :meth:`HTTree.multiget`, region writes overlapped behind a single
+        fence, then one :meth:`HTTree.multistore` for the index."""
+        old_regions = self.index.multiget(client, [key for key, _ in items])
+        writes = []
+        pairs: "list[tuple[int, int]]" = []
+        for key, data in items:
+            region = self.allocator.alloc(WORD + max(len(data), 1), hint)
+            writes.append(
+                client.submit(
+                    "write", region, encode_u64(len(data)) + data, signaled=False
+                )
+            )
+            pairs.append((key, region))
+        if pairs:
+            client.fence()  # blobs must be durable before they are reachable
+        for future in writes:
+            future.result()
+        self.index.multistore(client, pairs)
+        for old_region in old_regions:
+            if old_region is not None:
+                self._retire(old_region)
+        self.stats.puts += len(items)
+        self.stats.bytes_stored += sum(len(data) for _, data in items)
+
     def length(self, client: Client, key: int) -> Optional[int]:
         """Size of the stored blob (2 far accesses), or None."""
         region = self.index.get(client, key)

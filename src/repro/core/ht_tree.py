@@ -373,6 +373,81 @@ class HTTree:
             self.stats.chain_hops += 1
             item = _Item.parse(client.read(item.next, ITEM_BYTES))
 
+    def multiget(
+        self, client: Client, keys: "list[int]"
+    ) -> "list[Optional[int]]":
+        """Pipelined lookup of many independent keys.
+
+        Every key costs exactly what a sequential :meth:`get` costs — one
+        bucket ``load0`` on the fast path, plus one read per collision-chain
+        hop — but the accesses are posted as unsignaled submissions, so up
+        to the client's QP depth of them overlap in one doorbell window
+        (claim C4's one-far-access-per-lookup count is preserved
+        bit-for-bit; only wall-clock changes). Chains are chased
+        level-by-level so each hop round overlaps across keys too. Stale
+        keys trigger one cache refresh per round, then retry together.
+        Returns values aligned with ``keys`` (None for misses).
+        """
+        for key in keys:
+            self._check_key(key)
+        self.stats.lookups += len(keys)
+        values: dict[int, Optional[int]] = {}
+        pending = list(range(len(keys)))
+        for _round in range(5):
+            cache = self._cache(client)
+            probes = []
+            for pos in pending:
+                leaf = cache.find_leaf(keys[pos])
+                client.touch_local(max(1, len(cache.uppers).bit_length()))
+                probes.append(
+                    (
+                        pos,
+                        leaf,
+                        client.submit(
+                            "load0",
+                            leaf.bucket_address(keys[pos]),
+                            ITEM_BYTES,
+                            signaled=False,
+                        ),
+                    )
+                )
+            stale: list[int] = []
+            chase: list[tuple[int, _Item]] = []
+            for pos, leaf, future in probes:
+                item = _Item.parse(future.result().value)
+                if item.version == 0:
+                    self.stats.misses += 1
+                    values[pos] = None
+                elif item.version == MOVED or item.version != leaf.version:
+                    stale.append(pos)
+                else:
+                    chase.append((pos, item))
+            while chase:
+                hops = []
+                for pos, item in chase:
+                    if item.key == keys[pos]:
+                        self.stats.hits += 1
+                        values[pos] = item.value
+                    elif item.next == 0:
+                        self.stats.misses += 1
+                        values[pos] = None
+                    else:
+                        self.stats.chain_hops += 1
+                        hops.append(
+                            (
+                                pos,
+                                client.submit(
+                                    "read", item.next, ITEM_BYTES, signaled=False
+                                ),
+                            )
+                        )
+                chase = [(pos, _Item.parse(f.result())) for pos, f in hops]
+            if not stale:
+                return [values[i] for i in range(len(keys))]
+            self._stale_refresh(client)
+            pending = stale
+        raise StaleCacheError("HT-tree cache failed to converge after refreshes")
+
     # ------------------------------------------------------------------
     # Store
     # ------------------------------------------------------------------
@@ -433,6 +508,168 @@ class HTTree:
         self._item_count += 1
 
         if chain_len + 1 > self.max_chain:
+            self._split(client, leaf)
+
+    def multistore(
+        self, client: Client, pairs: "list[tuple[int, int]]"
+    ) -> None:
+        """Pipelined insert/update of many independent ``(key, value)``
+        pairs.
+
+        Per-key far-access shapes match sequential :meth:`put` exactly
+        when the keys hit distinct buckets (version-check ``load0``, chain
+        hops, then either the in-place value write or record write + CAS);
+        the pipeline only overlaps them, phase by phase. All new records
+        share a single fence before their CASes. Two pairs contending for
+        the same bucket resolve through the same CAS-retry path two
+        concurrent clients would. Splits are deferred to the end and run
+        sequentially.
+        """
+        for key, _ in pairs:
+            self._check_key(key)
+        pending = list(range(len(pairs)))
+        oversize: dict[int, _Leaf] = {}
+        for _round in range(5):
+            cache = self._cache(client)
+            probes = []
+            for pos in pending:
+                key = pairs[pos][0]
+                leaf = cache.find_leaf(key)
+                client.touch_local(max(1, len(cache.uppers).bit_length()))
+                probes.append(
+                    (
+                        pos,
+                        leaf,
+                        client.submit(
+                            "load0", leaf.bucket_address(key), ITEM_BYTES,
+                            signaled=False,
+                        ),
+                    )
+                )
+            stale: list[int] = []
+            # Walk state: [pos, leaf, head_ptr, cur_addr, cur_item, chain_len]
+            active: list[list] = []
+            for pos, leaf, future in probes:
+                result = future.result()
+                item = _Item.parse(result.value)
+                if item.version == MOVED or (item.version not in (0, leaf.version)):
+                    stale.append(pos)
+                    continue
+                probe = item if item.version != 0 else None
+                active.append([pos, leaf, result.pointer, result.pointer, probe, 0])
+            updates: list[tuple[int, int]] = []
+            inserts: list[list] = []
+            while active:
+                hops = []
+                for pos, leaf, head, addr, probe, chain_len in active:
+                    if probe is None:
+                        inserts.append([pos, leaf, head, chain_len])
+                        continue
+                    chain_len += 1
+                    if probe.key == pairs[pos][0]:
+                        updates.append((pos, addr))
+                    elif probe.next == 0:
+                        inserts.append([pos, leaf, head, chain_len])
+                    else:
+                        self.stats.chain_hops += 1
+                        hops.append(
+                            (
+                                pos,
+                                leaf,
+                                head,
+                                probe.next,
+                                client.submit(
+                                    "read", probe.next, ITEM_BYTES, signaled=False
+                                ),
+                                chain_len,
+                            )
+                        )
+                active = [
+                    [pos, leaf, head, addr, _Item.parse(f.result()), chain_len]
+                    for pos, leaf, head, addr, f, chain_len in hops
+                ]
+            update_futures = [
+                client.submit(
+                    "write_u64", addr + 2 * WORD, pairs[pos][1], signaled=False
+                )
+                for pos, addr in updates
+            ]
+            for future in update_futures:
+                future.result()
+            self.stats.updates += len(updates)
+            # Inserts: overlapped record writes, one shared fence, then
+            # overlapped CASes (with re-link rounds on contention).
+            records: list[list] = []
+            write_futures = []
+            for pos, leaf, head, chain_len in inserts:
+                record = self.allocator.alloc(
+                    ITEM_BYTES, PlacementHint(near=leaf.table)
+                )
+                new_item = _Item(
+                    version=leaf.version,
+                    key=pairs[pos][0],
+                    value=pairs[pos][1],
+                    next=head,
+                )
+                records.append([pos, leaf, record, new_item, chain_len])
+                write_futures.append(
+                    client.submit("write", record, new_item.encode(), signaled=False)
+                )
+            if records:
+                client.fence()  # records visible before any CAS lands
+            for future in write_futures:
+                future.result()
+            # Chain lengths were observed before any of this batch's
+            # CASes landed; count this batch's own inserts per bucket so
+            # chains grown *by the batch* still trigger splits, as they
+            # would have sequentially.
+            batch_growth: dict[int, int] = {}
+            while records:
+                cas_futures = [
+                    (
+                        entry,
+                        client.submit(
+                            "cas",
+                            entry[1].bucket_address(pairs[entry[0]][0]),
+                            entry[3].next,
+                            entry[2],
+                            signaled=False,
+                        ),
+                    )
+                    for entry in records
+                ]
+                relinks = []
+                retry = []
+                for entry, future in cas_futures:
+                    old, ok = future.result()
+                    if ok:
+                        pos, leaf, _, _, chain_len = entry
+                        self.stats.inserts += 1
+                        self._item_count += 1
+                        bucket = leaf.bucket_address(pairs[pos][0])
+                        grown = batch_growth.get(bucket, 0)
+                        batch_growth[bucket] = grown + 1
+                        if chain_len + grown + 1 > self.max_chain:
+                            oversize[leaf.table] = leaf
+                        continue
+                    self.stats.cas_retries += 1
+                    entry[3].next = old
+                    relinks.append(
+                        client.submit(
+                            "write_u64", entry[2] + 3 * WORD, old, signaled=False
+                        )
+                    )
+                    retry.append(entry)
+                for future in relinks:
+                    future.result()
+                records = retry
+            if not stale:
+                break
+            self._stale_refresh(client)
+            pending = stale
+        else:
+            raise StaleCacheError("HT-tree cache failed to converge after refreshes")
+        for leaf in oversize.values():
             self._split(client, leaf)
 
     # ------------------------------------------------------------------
@@ -544,7 +781,9 @@ class HTTree:
         # from a stale cache would silently revert another table's split.
         self._stale_refresh(client)
         cache = self._caches[client.client_id]
-        current = next((l for l in cache.leaves if l.table == leaf.table), None)
+        current = next(
+            (entry for entry in cache.leaves if entry.table == leaf.table), None
+        )
         if current is None:
             # The table was already split out of the tree.
             client.write_u64(leaf.table + WORD, 0)
@@ -586,10 +825,13 @@ class HTTree:
             new_leaves.append(
                 _Leaf(leaf.upper, high_table, new_version, self.bucket_count)
             )
-        new_leaves.sort(key=lambda l: l.upper)
+        new_leaves.sort(key=lambda entry: entry.upper)
         blob = b"".join(
-            encode_u64(l.upper) + encode_u64(l.table) + encode_u64(l.version) + encode_u64(l.buckets)
-            for l in new_leaves
+            encode_u64(entry.upper)
+            + encode_u64(entry.table)
+            + encode_u64(entry.version)
+            + encode_u64(entry.buckets)
+            for entry in new_leaves
         )
         region = self.allocator.alloc(len(blob))
         client.write(region, blob)

@@ -297,6 +297,61 @@ class FarQueue:
         state.last_tail = wrapped + WORD
         self._repair_pointer(client, self.tail_addr)
 
+    def enqueue_many(self, client: Client, values: "list[int]") -> None:
+        """Enqueue ``values`` with fast-path ``saai`` submissions
+        overlapped, up to the client's QP depth per doorbell window.
+
+        Per-item operations (and their counts) are exactly those of
+        :meth:`enqueue`; only the latency overlaps. The stream serialises
+        at the points where the next action depends on a response: a tail
+        that landed in the slack region (migrate + repair before issuing
+        more, so the slack bound still holds with one window in flight),
+        and the near-full zone (falls back to the per-op head-refresh
+        guard, so :class:`QueueFull` fires after the same prefix the
+        serial loop would have enqueued).
+        """
+        for value in values:
+            if not 0 <= value < EMPTY:
+                raise ValueError(
+                    "value must be a u64 other than the EMPTY sentinel"
+                )
+        state = self._state(client)
+        i, n = 0, len(values)
+        near_full = self.usable_capacity - self.max_clients
+        while i < n:
+            if self._occupancy_estimate(state) >= near_full:
+                self.enqueue(client, values[i])
+                i += 1
+                continue
+            wrap_entry = None
+            budget = min(client.qp_depth, n - i)
+            with client.batch():
+                while budget > 0 and self._occupancy_estimate(state) < near_full:
+                    result = client.saai(
+                        self.tail_addr, WORD, encode_u64(values[i])
+                    )
+                    old_tail = result.pointer
+                    self._check_pointer(old_tail)
+                    state.last_tail = old_tail + WORD
+                    self.stats.enqueues += 1
+                    i += 1
+                    budget -= 1
+                    if old_tail < self.slack_base:
+                        self.stats.fast_enqueues += 1
+                    else:
+                        wrap_entry = (old_tail, values[i - 1])
+                        break
+            if wrap_entry is not None:
+                old_tail, value = wrap_entry
+                self.stats.enqueue_wraps += 1
+                wrapped = self._wrapped(old_tail)
+                client.wscatter(
+                    [(wrapped, WORD), (old_tail, WORD)],
+                    encode_u64(value) + encode_u64(EMPTY),
+                )
+                state.last_tail = wrapped + WORD
+                self._repair_pointer(client, self.tail_addr)
+
     def _refresh_head(self, client: Client, state: _ClientState) -> None:
         """Read both pointers in one gather (one far access)."""
         raw = client.rgather([(self.head_addr, WORD), (self.tail_addr, WORD)])
@@ -360,6 +415,76 @@ class FarQueue:
             return self.dequeue(client)
         except QueueEmpty:
             return None
+
+    def dequeue_many(self, client: Client, max_items: int) -> "list[int]":
+        """Dequeue up to ``max_items`` items with fast-path submissions
+        overlapped, up to the client's QP depth per doorbell window.
+
+        Per-item operations match :meth:`dequeue` exactly; the stream
+        serialises where the next action depends on a response — a head
+        that landed in slack (repair first) or an EMPTY slot (undo/claim,
+        like the serial path). Returns the items dequeued; fewer than
+        ``max_items`` (possibly none) means the queue drained — unlike
+        :meth:`dequeue`, nothing is raised, but a claim may be left armed
+        on this client just the same.
+        """
+        state = self._state(client)
+        out: "list[int]" = []
+        while len(out) < max_items:
+            if state.pending_claim is not None:
+                try:
+                    out.append(self._consume_claim(client, state))
+                except QueueEmpty:
+                    break
+                continue
+            boundary = None  # ("wrap" | "empty", old_head) stops the window
+            budget = min(client.qp_depth, max_items - len(out))
+            with client.batch():
+                while budget > 0:
+                    if self.use_fsaai:
+                        result = client.fsaai(
+                            self.head_addr, WORD, encode_u64(EMPTY)
+                        )
+                    else:
+                        result = client.faai(self.head_addr, WORD, WORD)
+                    old_head = result.pointer
+                    self._check_pointer(old_head)
+                    budget -= 1
+                    if old_head >= self.slack_base:
+                        boundary = ("wrap", old_head)
+                        break
+                    value = decode_u64(result.value)
+                    if value == EMPTY:
+                        boundary = ("empty", old_head)
+                        break
+                    self._finish_dequeue(client, state, old_head, fast=True)
+                    out.append(value)
+            if boundary is None:
+                continue
+            kind, old_head = boundary
+            if kind == "wrap":
+                self.stats.dequeue_wraps += 1
+                slot = self._wrapped(old_head)
+                self._repair_pointer(client, self.head_addr)
+                value = (
+                    client.swap(slot, EMPTY)
+                    if self.use_fsaai
+                    else client.read_u64(slot)
+                )
+                if value == EMPTY:
+                    try:
+                        self._dequeue_empty(client, state, old_head, slot)
+                    except QueueEmpty:
+                        break
+                else:
+                    self._finish_dequeue(client, state, slot, fast=False)
+                    out.append(value)
+            else:
+                try:
+                    self._dequeue_empty(client, state, old_head, old_head)
+                except QueueEmpty:
+                    break
+        return out
 
     def _finish_dequeue(
         self, client: Client, state: _ClientState, slot: int, *, fast: bool

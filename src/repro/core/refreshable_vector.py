@@ -215,12 +215,13 @@ class RefreshableVector:
     def _reader(self, client: Client) -> _ReaderState:
         state = self._readers.get(client.client_id)
         if state is None:
-            data = np.frombuffer(
-                client.read(self.data_base, self.length * WORD), dtype="<u8"
-            ).copy()
-            versions = np.frombuffer(
-                client.read(self.base, self.version_words * WORD), dtype="<u8"
-            ).copy()
+            # The initial data and version loads are independent: overlap
+            # them in one submission window.
+            with client.batch():
+                raw_data = client.read(self.data_base, self.length * WORD)
+                raw_versions = client.read(self.base, self.version_words * WORD)
+            data = np.frombuffer(raw_data, dtype="<u8").copy()
+            versions = np.frombuffer(raw_versions, dtype="<u8").copy()
             state = _ReaderState(data=data, versions=versions)
             self._readers[client.client_id] = state
         return state
@@ -297,14 +298,19 @@ class RefreshableVector:
             return report
         if changed_slots:
             slots = np.array(sorted(changed_slots), dtype=np.int64)
-            # One gather for the version words, so the cache's version view
-            # stays exact, plus the data pull below.
-            raw = client.rgather(
-                [(self._version_address(int(s)), WORD) for s in slots]
-            )
+            # The notifications already named the changed slots, so the
+            # version gather and the data pull have independent iovecs:
+            # overlap them in one submission window (still two far
+            # accesses — C6's count is unchanged, only the wall-clock).
+            # Poll-mode refresh cannot do this: its pull iovec depends on
+            # the version read's result.
+            with client.batch():
+                raw = client.rgather(
+                    [(self._version_address(int(s)), WORD) for s in slots]
+                )
+                self._pull(client, state, slots, report)
             for j, s in enumerate(slots):
                 state.versions[int(s)] = decode_u64(raw[j * WORD : (j + 1) * WORD])
-            self._pull(client, state, slots, report)
             if report.notifications_consumed >= self.busy_notifications:
                 # Updates sped back up: notifications are now the expensive
                 # path; return to client-initiated version checks.

@@ -28,7 +28,7 @@ import numpy as np
 from ..alloc import FarAllocator, PlacementHint
 from ..fabric.client import Client
 from ..fabric.errors import AddressError
-from ..fabric.wire import WORD, decode_u64, encode_u64
+from ..fabric.wire import WORD
 from ..notify.manager import NotificationManager
 from ..notify.subscription import Notification, NotifyKind, Subscription
 

@@ -39,6 +39,7 @@ from .latency import CostModel, SimClock, Stopwatch
 from .retry import BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy
 from .memory_node import MemoryNode, NodeStats
 from .metrics import Metrics, aggregate
+from .pipeline import CompletionQueue, FarFuture
 from .primitives import FarIovec, PendingIndirection
 from .profile import ProfileRow, Profiler
 from .replication import ReplicatedRegion, ReplicationStats
@@ -95,6 +96,8 @@ __all__ = [
     "NodeStats",
     "Metrics",
     "aggregate",
+    "CompletionQueue",
+    "FarFuture",
     "FarIovec",
     "PendingIndirection",
     "ProfileRow",

@@ -5,16 +5,28 @@ one-sided operations against the fabric, pays simulated latency on its own
 :class:`~repro.fabric.latency.SimClock`, and records exact operation
 counts in its :class:`~repro.fabric.metrics.Metrics`.
 
-Three facilities model real RDMA/Gen-Z NICs:
+The NIC is modelled the way real RDMA/Gen-Z dataplanes work — an
+asynchronous submission/completion pipeline (:mod:`repro.fabric.pipeline`)
+with the synchronous API as a thin veneer:
 
-* **Batch windows** (:meth:`batch`): operations issued inside a batch
-  overlap in time — the window costs ``max(op latencies) + issue
-  overhead`` instead of the sum. This models doorbell batching / multiple
-  outstanding work requests, and is how client-side scatter-gather is
-  implemented when the fabric lacks the Fig. 1 primitives.
-* **Fences** (:meth:`fence`): an ordering point — operations before the
-  fence complete before operations after it (section 2's memory-barrier
-  assumption, "provided using request completion queues").
+* **Submission** (:meth:`submit`): post one operation, get a
+  :class:`~repro.fabric.pipeline.FarFuture`. Up to :attr:`qp_depth`
+  submissions stay outstanding in the current *overlap window*; hitting
+  the bound rings the doorbell (the window flushes, costing ``max(op
+  latencies) + (n - 1) * issue_ns`` — overlap hides latency, not work).
+* **Completion** (:attr:`cq`): a completion queue with ``poll()`` /
+  ``wait_all()``; ``FarFuture.result()`` completes through it.
+* **Synchronous shims**: every classic method (:meth:`read`,
+  :meth:`write`, :meth:`cas`, the Fig. 1 primitives, scatter/gather) is
+  ``submit(...).result()`` — a one-deep window, charging exactly what the
+  pre-pipeline client charged.
+* **Batch windows** (:meth:`batch`): a scope that holds the window open
+  regardless of depth, so every operation inside overlaps — the
+  doorbell-batching façade, reimplemented on the pipeline.
+* **Fences** (:meth:`fence`): an ordering point — the open window flushes,
+  so operations before the fence complete before operations after it
+  (section 2's memory-barrier assumption, "provided using request
+  completion queues").
 * **ERROR-policy completion**: when cross-node indirection is refused
   (section 7.1), the client transparently completes the pending access
   with a second, direct round trip — and the metrics show the cost.
@@ -22,9 +34,11 @@ Three facilities model real RDMA/Gen-Z NICs:
   :meth:`Client._issue`, which transparently retries transient fabric
   faults (:mod:`repro.fabric.faults`) with exponential backoff and
   deterministic jitter (:mod:`repro.fabric.retry`), charges timeout and
-  backoff time to the client's clock, and fails fast per memory node via
-  a circuit breaker once failures persist. Pass ``retry_policy=None`` /
-  ``breaker_policy=None`` to disable either layer.
+  backoff time to the *operation's own* window contribution — so a
+  retried future overlaps the rest of its window instead of stalling
+  it — and fails fast per memory node via a circuit breaker once
+  failures persist. Pass ``retry_policy=None`` / ``breaker_policy=None``
+  to disable either layer.
 
 Clients also own a notification inbox; the notification subsystem
 (:mod:`repro.notify`) delivers into it and :meth:`poll_notifications`
@@ -39,6 +53,7 @@ from typing import Any, Iterator, Optional, Sequence
 
 from .errors import (
     CircuitOpenError,
+    ClientDeadError,
     FarTimeoutError,
     NodeUnavailableError,
     RemoteIndirectionError,
@@ -46,12 +61,16 @@ from .errors import (
 from .fabric import Fabric, FabricResult
 from .latency import SimClock
 from .metrics import Metrics
+from .pipeline import CompletionQueue, FarFuture
 from .primitives import FarIovec, PendingIndirection
 from .retry import BreakerPolicy, CircuitBreaker, RetryPolicy
 from .wire import WORD, decode_u64, encode_u64
 
 DEFAULT_RETRY_POLICY = RetryPolicy()
 DEFAULT_BREAKER_POLICY = BreakerPolicy()
+
+DEFAULT_QP_DEPTH = 16
+"""Default bound on outstanding submissions (RDMA queue-pair depth)."""
 
 
 class Client:
@@ -67,7 +86,10 @@ class Client:
         auto_complete_indirection: bool = True,
         retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
         breaker_policy: Optional[BreakerPolicy] = DEFAULT_BREAKER_POLICY,
+        qp_depth: int = DEFAULT_QP_DEPTH,
     ) -> None:
+        if qp_depth < 1:
+            raise ValueError("qp_depth must be >= 1")
         self.fabric = fabric
         self.client_id = Client._next_id
         Client._next_id += 1
@@ -79,8 +101,17 @@ class Client:
         self.breaker_policy = breaker_policy
         self.breakers: dict[int, CircuitBreaker] = {}
         self.alive = True
+        self.qp_depth = qp_depth
+        self.cq = CompletionQueue(self)
         self._inbox: deque = deque()
-        self._batch_window: Optional[list[float]] = None
+        # The open overlap window: latency contributions awaiting the
+        # doorbell, and the futures whose charges they are.
+        self._window_charges: list[float] = []
+        self._window_futures: list[FarFuture] = []
+        self._batch_depth = 0
+        # The future whose operation is currently executing; all latency
+        # charged while it is set folds into that future's contribution.
+        self._issue_ctx: Optional[FarFuture] = None
 
     @classmethod
     def reset_ids(cls) -> None:
@@ -99,18 +130,23 @@ class Client:
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Fail-stop this client: volatile state (inbox, batch window) is
-        lost, future operations raise, and any far-memory state it left
-        behind (held locks, queue claims, half-migrated items) stays put
-        for other clients to recover (:mod:`repro.recovery`)."""
+        """Fail-stop this client: volatile state (inbox, open window,
+        unreaped completions) is lost, future operations raise, and any
+        far-memory state it left behind (held locks, queue claims,
+        half-migrated items) stays put for other clients to recover
+        (:mod:`repro.recovery`)."""
         self.alive = False
         self._inbox.clear()
-        self._batch_window = None
+        self._window_charges = []
+        doomed, self._window_futures = self._window_futures, []
+        error = ClientDeadError(f"{self.name} has crashed")
+        for future in doomed:
+            future._fail(error)
+            future._complete(self.clock.now_ns)
+        self.cq._clear()
 
     def _check_alive(self) -> None:
         if not self.alive:
-            from .errors import ClientDeadError
-
             raise ClientDeadError(f"{self.name} has crashed")
 
     # ------------------------------------------------------------------
@@ -123,8 +159,19 @@ class Client:
         return self.fabric.cost_model
 
     def _advance(self, ns: float) -> None:
-        if self._batch_window is not None:
-            self._batch_window.append(ns)
+        """Charge ``ns`` of far latency.
+
+        Inside an executing operation the charge folds into that
+        operation's window contribution (this is what lets a retried op's
+        timeout + backoff ladder overlap its window peers — see the
+        retry/batch accounting note in :meth:`_issue`). A bare charge
+        inside a batch scope becomes its own window entry; otherwise the
+        clock advances immediately.
+        """
+        if self._issue_ctx is not None:
+            self._issue_ctx.charge_ns += ns
+        elif self._batch_depth > 0:
+            self._window_charges.append(ns)
         else:
             self.clock.advance(ns)
 
@@ -167,43 +214,140 @@ class Client:
     def touch_local(self, count: int = 1) -> None:
         """Charge ``count`` client-local (near) accesses — data structures
         call this when they walk their caches (section 3: trading far
-        accesses for near accesses)."""
+        accesses for near accesses). Near accesses never enter the NIC
+        pipeline; they charge the clock directly."""
         self.metrics.near_accesses += count
         self.clock.advance(self.cost_model.near_access_ns(count))
+
+    # ------------------------------------------------------------------
+    # Submission / completion pipeline
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, op: str, *args: Any, signaled: bool = True, **kwargs: Any
+    ) -> FarFuture:
+        """Post one far operation to the submission queue.
+
+        ``op`` names any one-sided method (``"read"``, ``"write"``,
+        ``"cas"``, ``"load0"``, ``"rgather"``, ...); the operation
+        executes with its latency deferred into the open overlap window
+        and a :class:`FarFuture` is returned immediately. At most
+        :attr:`qp_depth` submissions stay outstanding — the window
+        flushes automatically when full (counted in
+        ``metrics.pipeline_stalls``). Completions are reaped via
+        :attr:`cq` or ``FarFuture.result()``.
+
+        ``signaled=False`` posts an *unsignaled* work request (RDMA
+        idiom): the future never lands in the completion queue, so a
+        caller that holds the future and reaps it directly — the
+        synchronous shims, the data structures' pipelined bulk paths —
+        leaves no CQ entries behind.
+
+        Errors (timeout after retries, open breaker, address faults)
+        are captured in the future and raised at ``result()`` time, as a
+        completion-queue error entry would be.
+        """
+        return self._submit(op, args, kwargs, tracked=signaled)
+
+    def _submit(
+        self, op: str, args: tuple, kwargs: dict, *, tracked: bool
+    ) -> FarFuture:
+        impl = getattr(self, "_op_" + op, None)
+        if impl is None:
+            raise ValueError(f"unknown far operation {op!r}")
+        future = FarFuture(self, op)
+        if self._issue_ctx is not None:
+            # Nested issue (e.g. ERROR-policy completion re-entering
+            # read/write): fold into the enclosing operation — its charge
+            # and accounting belong to the outer future.
+            try:
+                future._resolve(impl(*args, **kwargs))
+            except Exception as err:
+                future._fail(err)
+            future._complete(self.clock.now_ns)
+            return future
+        self._check_alive()
+        self.metrics.pipeline_ops += 1
+        self._issue_ctx = future
+        try:
+            future._resolve(impl(*args, **kwargs))
+        except Exception as err:
+            future._fail(err)
+        finally:
+            self._issue_ctx = None
+        if tracked:
+            future._tracked = True
+        self._window_charges.append(future.charge_ns)
+        self._window_futures.append(future)
+        if self._batch_depth == 0 and len(self._window_futures) >= self.qp_depth:
+            self.metrics.pipeline_stalls += 1
+            self._flush_window()
+        return future
+
+    def _flush_window(self) -> None:
+        """Ring the doorbell: charge the open window and complete its
+        futures. The window costs ``max(contributions) + (n - 1) *
+        issue_ns`` — overlap hides latency; the metrics counted every
+        operation individually at issue time."""
+        charges, self._window_charges = self._window_charges, []
+        futures, self._window_futures = self._window_futures, []
+        if charges:
+            charged = self.cost_model.window_ns(charges)
+            self.clock.advance(charged)
+            m = self.metrics
+            m.pipeline_flushes += 1
+            m.pipeline_charged_ns += int(charged)
+            serial = sum(charges)
+            if serial > charged:
+                m.overlap_saved_ns += int(serial - charged)
+        now = self.clock.now_ns
+        for future in futures:
+            future._complete(now)
+            if future._tracked and not future._reaped:
+                self.cq._deliver(future)
+
+    def _complete_future(self, future: FarFuture) -> None:
+        """Drive ``future`` to completion (``FarFuture.result()``)."""
+        if future.done():
+            return
+        if self._batch_depth > 0:
+            # A batch scope defers the charge to scope exit; the value is
+            # already known (eager execution) and returned uncharged.
+            return
+        if future in self._window_futures:
+            self._flush_window()
+
+    def _window_outstanding(self) -> int:
+        return len(self._window_futures)
 
     @contextmanager
     def batch(self) -> Iterator[None]:
         """Overlap the operations issued inside the ``with`` block.
 
-        The block costs ``max(latencies) + (n - 1) * issue_ns`` of
-        simulated time; every operation is still counted individually in
-        the metrics (overlap hides latency, not work).
+        The scope pins the overlap window open past :attr:`qp_depth` —
+        one doorbell for the whole block, costing ``max(latencies) +
+        (n - 1) * issue_ns`` of simulated time; every operation is still
+        counted individually in the metrics (overlap hides latency, not
+        work). Nested batches flatten into the outer window.
         """
-        if self._batch_window is not None:
-            yield  # nested batches flatten into the outer window
-            return
-        self._batch_window = []
+        self._batch_depth += 1
         try:
             yield
         finally:
-            window, self._batch_window = self._batch_window, None
-            if window:
-                self.clock.advance(
-                    max(window) + (len(window) - 1) * self.cost_model.issue_ns
-                )
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._flush_window()
 
     def fence(self) -> None:
         """Ordering point: all prior operations complete before later ones.
 
-        Inside a batch window this closes the current overlap group;
-        outside one, operations are already synchronous so it only marks
+        Flushes the open window (pipelined submissions and batch scopes
+        alike), so earlier operations' latency is fully charged before
+        any later operation issues. Outside any window it only marks
         intent (and is counted, for audit).
         """
         self.metrics.bump("fences")
-        if self._batch_window:
-            window = self._batch_window
-            self.clock.advance(max(window) + (len(window) - 1) * self.cost_model.issue_ns)
-            window.clear()
+        self._flush_window()
 
     # ------------------------------------------------------------------
     # Retry / circuit-breaker machinery
@@ -225,14 +369,21 @@ class Client:
         so a timeout has no memory-side effects) → the fabric call.
         Transient failures (:class:`FarTimeoutError`, and
         :class:`NodeUnavailableError` from fail-stop nodes) charge the
-        timeout-detection interval plus exponential backoff to this
-        client's clock — backoff serialises even inside a batch window —
-        and are retried up to the policy's attempt/time budgets. Failed
-        attempts are *not* counted as far accesses (those count completed
-        work); they appear in ``metrics.timeouts`` / ``retries`` /
-        ``backoff_ns`` instead. When the breaker for the target node is
-        (or trips) open, the op fails fast with
-        :class:`CircuitOpenError`.
+        timeout-detection interval plus exponential backoff *to the
+        operation's own window contribution* — inside an overlap window
+        the retry ladder overlaps the other outstanding ops (each QP slot
+        waits out its own timeout independently on real NICs), while a
+        synchronous call serialises exactly as before — and are retried
+        up to the policy's attempt/time budgets. Failed attempts are
+        *not* counted as far accesses (those count completed work); they
+        appear in ``metrics.timeouts`` / ``retries`` / ``backoff_ns``
+        instead. When the breaker for the target node is (or trips)
+        open, the op fails fast with :class:`CircuitOpenError`.
+
+        Breaker cooldowns compare against the client's clock as of the
+        last doorbell; charges still in the open window are invisible to
+        it, which is deterministic and matches a NIC consulting its
+        completion timestamps.
         """
         self._check_alive()
         fabric = self.fabric
@@ -260,7 +411,7 @@ class Client:
                 spent += backoff
                 self.metrics.retries += 1
                 self.metrics.backoff_ns += int(backoff)
-                self.clock.advance(backoff)
+                self._advance(backoff)
             try:
                 fabric.fault_check(address)
                 result = op(*args)
@@ -278,7 +429,7 @@ class Client:
             fabric.consume_fault_latency()
             detect = self.cost_model.timeout_ns
             spent += detect
-            self.clock.advance(detect)
+            self._advance(detect)
             if breaker is not None:
                 if breaker.record_failure(self.clock.now_ns):
                     self.metrics.breaker_trips += 1
@@ -291,47 +442,73 @@ class Client:
         raise last
 
     # ------------------------------------------------------------------
-    # Base one-sided operations
+    # Base one-sided operations. The public methods are thin
+    # ``submit(...).result()`` shims over the ``_op_*`` implementations —
+    # a synchronous call is a one-deep pipeline window, charging exactly
+    # what it always has.
     # ------------------------------------------------------------------
 
     def read(self, address: int, length: int) -> bytes:
         """One-sided read: one far access."""
+        return self._submit("read", (address, length), {}, tracked=False).result()
+
+    def write(self, address: int, data: bytes) -> None:
+        """One-sided write: one far access."""
+        return self._submit("write", (address, data), {}, tracked=False).result()
+
+    def read_u64(self, address: int) -> int:
+        """Read one 64-bit word (one far access)."""
+        return self._submit("read_u64", (address,), {}, tracked=False).result()
+
+    def write_u64(self, address: int, value: int) -> None:
+        """Write one 64-bit word (one far access)."""
+        return self._submit("write_u64", (address, value), {}, tracked=False).result()
+
+    def cas(self, address: int, expected: int, new: int) -> tuple[int, bool]:
+        """Atomic compare-and-swap (one far access)."""
+        return self._submit(
+            "cas", (address, expected, new), {}, tracked=False
+        ).result()
+
+    def faa(self, address: int, delta: int) -> int:
+        """Atomic fetch-and-add (one far access); returns the old value."""
+        return self._submit("faa", (address, delta), {}, tracked=False).result()
+
+    def swap(self, address: int, value: int) -> int:
+        """Atomic exchange (one far access); returns the old value."""
+        return self._submit("swap", (address, value), {}, tracked=False).result()
+
+    def _op_read(self, address: int, length: int) -> bytes:
         result = self._issue(address, self.fabric.read, address, length)
         self._account_far(nbytes_read=length, segments=result.segments)
         return result.value
 
-    def write(self, address: int, data: bytes) -> None:
-        """One-sided write: one far access."""
+    def _op_write(self, address: int, data: bytes) -> None:
         result = self._issue(address, self.fabric.write, address, bytes(data))
         self._account_far(nbytes_written=len(data), segments=result.segments)
 
-    def read_u64(self, address: int) -> int:
-        """Read one 64-bit word (one far access)."""
+    def _op_read_u64(self, address: int) -> int:
         value = self._issue(address, self.fabric.read_word, address)
         self._account_far(nbytes_read=WORD)
         return value
 
-    def write_u64(self, address: int, value: int) -> None:
-        """Write one 64-bit word (one far access)."""
+    def _op_write_u64(self, address: int, value: int) -> None:
         self._issue(address, self.fabric.write_word, address, value)
         self._account_far(nbytes_written=WORD)
 
-    def cas(self, address: int, expected: int, new: int) -> tuple[int, bool]:
-        """Atomic compare-and-swap (one far access)."""
+    def _op_cas(self, address: int, expected: int, new: int) -> tuple[int, bool]:
         old, ok = self._issue(
             address, self.fabric.compare_and_swap, address, expected, new
         )
         self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
         return old, ok
 
-    def faa(self, address: int, delta: int) -> int:
-        """Atomic fetch-and-add (one far access); returns the old value."""
+    def _op_faa(self, address: int, delta: int) -> int:
         old = self._issue(address, self.fabric.fetch_add, address, delta)
         self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
         return old
 
-    def swap(self, address: int, value: int) -> int:
-        """Atomic exchange (one far access); returns the old value."""
+    def _op_swap(self, address: int, value: int) -> int:
         old = self._issue(address, self.fabric.swap, address, value)
         self._account_far(nbytes_read=WORD, nbytes_written=WORD, atomic=True)
         return old
@@ -388,52 +565,91 @@ class Client:
 
     def load0(self, ad: int, length: int) -> FabricResult:
         """Indirect load: read ``length`` bytes at ``*ad``."""
-        return self._indirect(self.fabric.load0, ad, length, nbytes_read=length)
+        return self._submit("load0", (ad, length), {}, tracked=False).result()
 
     def store0(self, ad: int, value: bytes) -> FabricResult:
         """Indirect store: write ``value`` at ``*ad``."""
-        return self._indirect(self.fabric.store0, ad, value, nbytes_written=len(value))
+        return self._submit("store0", (ad, value), {}, tracked=False).result()
 
     def load1(self, ad: int, index: int, length: int) -> FabricResult:
         """Indexed indirect load: read at ``*(ad + index)``."""
-        return self._indirect(self.fabric.load1, ad, index, length, nbytes_read=length)
+        return self._submit("load1", (ad, index, length), {}, tracked=False).result()
 
     def store1(self, ad: int, index: int, value: bytes) -> FabricResult:
         """Indexed indirect store: write at ``*(ad + index)``."""
+        return self._submit("store1", (ad, index, value), {}, tracked=False).result()
+
+    def load2(self, ad: int, index: int, length: int) -> FabricResult:
+        """Offset indirect load: read at ``*ad + index``."""
+        return self._submit("load2", (ad, index, length), {}, tracked=False).result()
+
+    def store2(self, ad: int, index: int, value: bytes) -> FabricResult:
+        """Offset indirect store: write at ``*ad + index``."""
+        return self._submit("store2", (ad, index, value), {}, tracked=False).result()
+
+    def faai(self, ad: int, delta: int, length: int) -> FabricResult:
+        """Fetch-and-add-indirect (queue dequeue fast path, section 5.3)."""
+        return self._submit("faai", (ad, delta, length), {}, tracked=False).result()
+
+    def saai(self, ad: int, delta: int, value: bytes) -> FabricResult:
+        """Store-and-add-indirect (queue enqueue fast path, section 5.3)."""
+        return self._submit("saai", (ad, delta, value), {}, tracked=False).result()
+
+    def fsaai(self, ad: int, delta: int, value: bytes) -> FabricResult:
+        """Fetch-store-and-add-indirect (the DESIGN.md extension): bump
+        ``*ad``, atomically swap ``value`` into the old target, and return
+        what was there — the fully-safe one-access dequeue."""
+        return self._submit("fsaai", (ad, delta, value), {}, tracked=False).result()
+
+    def add0(self, ad: int, delta: int) -> FabricResult:
+        """``**ad += delta`` in one far access."""
+        return self._submit("add0", (ad, delta), {}, tracked=False).result()
+
+    def add1(self, ad: int, delta: int, index: int) -> FabricResult:
+        """``**(ad + index) += delta`` in one far access."""
+        return self._submit("add1", (ad, delta, index), {}, tracked=False).result()
+
+    def add2(self, ad: int, delta: int, index: int) -> FabricResult:
+        """``*(*ad + index) += delta`` in one far access (histogram bump)."""
+        return self._submit("add2", (ad, delta, index), {}, tracked=False).result()
+
+    def _op_load0(self, ad: int, length: int) -> FabricResult:
+        return self._indirect(self.fabric.load0, ad, length, nbytes_read=length)
+
+    def _op_store0(self, ad: int, value: bytes) -> FabricResult:
+        return self._indirect(self.fabric.store0, ad, value, nbytes_written=len(value))
+
+    def _op_load1(self, ad: int, index: int, length: int) -> FabricResult:
+        return self._indirect(self.fabric.load1, ad, index, length, nbytes_read=length)
+
+    def _op_store1(self, ad: int, index: int, value: bytes) -> FabricResult:
         return self._indirect(
             self.fabric.store1, ad, index, value, nbytes_written=len(value)
         )
 
-    def load2(self, ad: int, index: int, length: int) -> FabricResult:
-        """Offset indirect load: read at ``*ad + index``."""
+    def _op_load2(self, ad: int, index: int, length: int) -> FabricResult:
         return self._indirect(self.fabric.load2, ad, index, length, nbytes_read=length)
 
-    def store2(self, ad: int, index: int, value: bytes) -> FabricResult:
-        """Offset indirect store: write at ``*ad + index``."""
+    def _op_store2(self, ad: int, index: int, value: bytes) -> FabricResult:
         return self._indirect(
             self.fabric.store2, ad, index, value, nbytes_written=len(value)
         )
 
-    def faai(self, ad: int, delta: int, length: int) -> FabricResult:
-        """Fetch-and-add-indirect (queue dequeue fast path, section 5.3)."""
+    def _op_faai(self, ad: int, delta: int, length: int) -> FabricResult:
         result = self._indirect(
             self.fabric.faai, ad, delta, length, nbytes_read=length + WORD
         )
         self.metrics.atomic_ops += 1
         return result
 
-    def saai(self, ad: int, delta: int, value: bytes) -> FabricResult:
-        """Store-and-add-indirect (queue enqueue fast path, section 5.3)."""
+    def _op_saai(self, ad: int, delta: int, value: bytes) -> FabricResult:
         result = self._indirect(
             self.fabric.saai, ad, delta, value, nbytes_written=len(value) + WORD
         )
         self.metrics.atomic_ops += 1
         return result
 
-    def fsaai(self, ad: int, delta: int, value: bytes) -> FabricResult:
-        """Fetch-store-and-add-indirect (the DESIGN.md extension): bump
-        ``*ad``, atomically swap ``value`` into the old target, and return
-        what was there — the fully-safe one-access dequeue."""
+    def _op_fsaai(self, ad: int, delta: int, value: bytes) -> FabricResult:
         result = self._indirect(
             self.fabric.fsaai,
             ad,
@@ -445,20 +661,17 @@ class Client:
         self.metrics.atomic_ops += 1
         return result
 
-    def add0(self, ad: int, delta: int) -> FabricResult:
-        """``**ad += delta`` in one far access."""
+    def _op_add0(self, ad: int, delta: int) -> FabricResult:
         result = self._indirect(self.fabric.add0, ad, delta, nbytes_written=WORD)
         self.metrics.atomic_ops += 1
         return result
 
-    def add1(self, ad: int, delta: int, index: int) -> FabricResult:
-        """``**(ad + index) += delta`` in one far access."""
+    def _op_add1(self, ad: int, delta: int, index: int) -> FabricResult:
         result = self._indirect(self.fabric.add1, ad, delta, index, nbytes_written=WORD)
         self.metrics.atomic_ops += 1
         return result
 
-    def add2(self, ad: int, delta: int, index: int) -> FabricResult:
-        """``*(*ad + index) += delta`` in one far access (histogram bump)."""
+    def _op_add2(self, ad: int, delta: int, index: int) -> FabricResult:
         result = self._indirect(self.fabric.add2, ad, delta, index, nbytes_written=WORD)
         self.metrics.atomic_ops += 1
         return result
@@ -469,12 +682,26 @@ class Client:
 
     def rscatter(self, ad: int, lengths: Sequence[int]) -> list[bytes]:
         """Read a far range into local buffers: one far access."""
+        return self._submit("rscatter", (ad, lengths), {}, tracked=False).result()
+
+    def rgather(self, iovec: FarIovec) -> bytes:
+        """Read a far iovec into one local buffer: one far access."""
+        return self._submit("rgather", (iovec,), {}, tracked=False).result()
+
+    def wscatter(self, iovec: FarIovec, data: bytes) -> None:
+        """Scatter a local buffer across a far iovec: one far access."""
+        return self._submit("wscatter", (iovec, data), {}, tracked=False).result()
+
+    def wgather(self, ad: int, buffers: Sequence[bytes]) -> None:
+        """Gather local buffers into one far range: one far access."""
+        return self._submit("wgather", (ad, buffers), {}, tracked=False).result()
+
+    def _op_rscatter(self, ad: int, lengths: Sequence[int]) -> list[bytes]:
         result = self._issue(ad, self.fabric.rscatter, ad, lengths)
         self._account_far(nbytes_read=sum(lengths), segments=result.segments)
         return result.value
 
-    def rgather(self, iovec: FarIovec) -> bytes:
-        """Read a far iovec into one local buffer: one far access."""
+    def _op_rgather(self, iovec: FarIovec) -> bytes:
         anchor = iovec[0][0] if iovec else 0
         result = self._issue(anchor, self.fabric.rgather, iovec)
         self._account_far(
@@ -482,14 +709,12 @@ class Client:
         )
         return result.value
 
-    def wscatter(self, iovec: FarIovec, data: bytes) -> None:
-        """Scatter a local buffer across a far iovec: one far access."""
+    def _op_wscatter(self, iovec: FarIovec, data: bytes) -> None:
         anchor = iovec[0][0] if iovec else 0
         result = self._issue(anchor, self.fabric.wscatter, iovec, bytes(data))
         self._account_far(nbytes_written=len(data), segments=result.segments)
 
-    def wgather(self, ad: int, buffers: Sequence[bytes]) -> None:
-        """Gather local buffers into one far range: one far access."""
+    def _op_wgather(self, ad: int, buffers: Sequence[bytes]) -> None:
         result = self._issue(ad, self.fabric.wgather, ad, buffers)
         self._account_far(
             nbytes_written=sum(len(b) for b in buffers), segments=result.segments

@@ -31,7 +31,7 @@ that, every run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .errors import FarTimeoutError

@@ -17,6 +17,7 @@ add it on top of the base round-trip latency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,14 @@ class CostModel:
     def near_access_ns(self, count: int = 1) -> float:
         """Cost of ``count`` client-local accesses."""
         return count * self.near_ns
+
+    def window_ns(self, charges: "Sequence[float]") -> float:
+        """Cost of flushing one overlap window of per-op latency charges:
+        the slowest operation hides all the others, and each additional
+        posting pays only the doorbell overhead (``issue_ns``)."""
+        if not charges:
+            return 0.0
+        return max(charges) + (len(charges) - 1) * self.issue_ns
 
 
 @dataclass

@@ -56,6 +56,11 @@ class Metrics:
     breaker_trips: int = 0
     breaker_rejections: int = 0
     backoff_ns: int = 0
+    pipeline_ops: int = 0
+    pipeline_flushes: int = 0
+    pipeline_stalls: int = 0
+    pipeline_charged_ns: int = 0
+    overlap_saved_ns: int = 0
     custom: Counter = field(default_factory=Counter)
 
     _INT_FIELDS = (
@@ -78,7 +83,28 @@ class Metrics:
         "breaker_trips",
         "breaker_rejections",
         "backoff_ns",
+        "pipeline_ops",
+        "pipeline_flushes",
+        "pipeline_stalls",
+        "pipeline_charged_ns",
+        "overlap_saved_ns",
     )
+
+    def avg_pipeline_depth(self) -> float:
+        """Mean operations per doorbell (submission-window flush). 1.0 is
+        fully synchronous; the QP depth is the ceiling."""
+        if self.pipeline_flushes == 0:
+            return 0.0
+        return self.pipeline_ops / self.pipeline_flushes
+
+    def overlap_efficiency(self) -> float:
+        """Fraction of serial far latency hidden by overlap: ``saved /
+        (saved + charged)``. 0.0 means no overlap; a window of n equal-cost
+        ops approaches ``(n - 1) / n``."""
+        denom = self.overlap_saved_ns + self.pipeline_charged_ns
+        if denom == 0:
+            return 0.0
+        return self.overlap_saved_ns / denom
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a free-form counter (used by data structures for

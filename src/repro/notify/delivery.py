@@ -27,7 +27,7 @@ seeded generator) so that tests and benchmarks are reproducible:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .subscription import Notification, Subscription
 

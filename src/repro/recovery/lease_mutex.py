@@ -30,7 +30,7 @@ from ..alloc import FarAllocator, PlacementHint
 from ..core.mutex import MutexError
 from ..fabric.client import Client
 from ..fabric.errors import FarTimeoutError
-from ..fabric.wire import WORD, decode_u64, encode_u64
+from ..fabric.wire import WORD, decode_u64
 
 UNLOCKED = 0
 

@@ -21,7 +21,7 @@ memory with two-sided RPC access" side of the paper's comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..fabric.client import Client

@@ -2,7 +2,12 @@
 
 from .keydist import Hotspot, KeyDistribution, Sequential, Uniform, Zipf
 from .metric_stream import MetricStream
-from .ycsb import YcsbWorkload, names as ycsb_names, operations as ycsb_operations, workload as ycsb_workload
+from .ycsb import (
+    YcsbWorkload,
+    names as ycsb_names,
+    operations as ycsb_operations,
+    workload as ycsb_workload,
+)
 from .opmix import (
     READ_MOSTLY,
     READ_ONLY,

@@ -21,7 +21,7 @@ def reclaimer(cluster):
 
 class TestLifecycle:
     def test_retire_defers_free(self, cluster, reclaimer):
-        pid = reclaimer.register()
+        reclaimer.register()
         block = cluster.allocator.alloc(64)
         reclaimer.retire(block)
         # Still live: the participant has not quiesced past the epoch.
@@ -79,7 +79,7 @@ class TestLifecycle:
             reclaimer.drain()  # ...but the second free fails loudly
 
     def test_drain(self, cluster, reclaimer):
-        pid = reclaimer.register()
+        reclaimer.register()
         blocks = [cluster.allocator.alloc(32) for _ in range(5)]
         for block in blocks:
             reclaimer.retire(block)

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster
-from repro.baselines import HopscotchFull, HopscotchHashMap
+from repro.baselines import HopscotchHashMap
 
 NODE_SIZE = 8 << 20
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Cluster
-from repro.fabric import Client, CostModel, Fabric, IndirectionPolicy, InterleavedPlacement, RangePlacement
+from repro.fabric import Client, Fabric, IndirectionPolicy, InterleavedPlacement, RangePlacement
 
 NODE_SIZE = 8 << 20  # 8 MiB per node keeps tests fast
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Cluster
-from repro.core.barrier import BarrierError, FarBarrier
+from repro.core.barrier import BarrierError
 
 NODE_SIZE = 8 << 20
 
@@ -97,7 +97,7 @@ class TestReuse:
     def test_reset_rearms(self, cluster):
         barrier = cluster.far_barrier(2)
         c1, c2 = cluster.client(), cluster.client()
-        t1 = barrier.arrive(c1)
+        barrier.arrive(c1)
         t2 = barrier.arrive(c2)
         assert t2.is_last
         barrier.reset(c2)

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster
-from repro.core.ht_tree import HTTree, LEAF_BYTES, hash_u64
+from repro.core.ht_tree import LEAF_BYTES, hash_u64
 from repro.fabric.wire import U64_MASK
 
 NODE_SIZE = 16 << 20

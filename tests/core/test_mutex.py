@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Cluster
-from repro.core.mutex import FarMutex, MutexError
+from repro.core.mutex import MutexError
 
 NODE_SIZE = 8 << 20
 

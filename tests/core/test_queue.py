@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster
-from repro.core.queue import EMPTY, FarQueue
+from repro.core.queue import EMPTY
 from repro.fabric.errors import FabricError, QueueEmpty, QueueFull
 
 NODE_SIZE = 8 << 20
@@ -228,7 +228,6 @@ class TestEmptyDetection:
         helper = cluster.client()
         from repro.fabric.wire import WORD
 
-        head = cluster.fabric.read_word(q.head_addr)
         with pytest.raises(QueueEmpty):
             q.dequeue(c2)  # c2 overshoots: head -> head + 8
         # c2 either undid (head back to `head`) or claimed. If it undid,
@@ -346,7 +345,11 @@ class TestPropertyBased:
     @given(
         st.lists(
             st.one_of(
-                st.tuples(st.just("enq"), st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=1 << 30)),
+                st.tuples(
+                    st.just("enq"),
+                    st.integers(min_value=0, max_value=2),
+                    st.integers(min_value=0, max_value=1 << 30),
+                ),
                 st.tuples(st.just("deq"), st.integers(min_value=0, max_value=2), st.just(0)),
             ),
             min_size=1,
@@ -360,7 +363,6 @@ class TestPropertyBased:
         q = cluster.far_queue(capacity=16, max_clients=3)
         clients = [cluster.client() for _ in range(3)]
         model: deque[int] = deque()
-        pending_claims: dict[int, bool] = {}
         for op, who, value in script:
             client = clients[who]
             if op == "enq":

@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster
-from repro.core.registry import FarRegistry, RegistryError
+from repro.core.registry import RegistryError
 
 NODE_SIZE = 8 << 20
 

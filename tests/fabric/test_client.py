@@ -6,7 +6,7 @@ import pytest
 from repro import Cluster
 from repro.fabric import IndirectionPolicy
 from repro.fabric.errors import RemoteIndirectionError
-from repro.fabric.wire import WORD, decode_u64, encode_u64
+from repro.fabric.wire import WORD, encode_u64
 
 NODE_SIZE = 8 << 20
 

@@ -8,7 +8,6 @@ simulator has: if it holds for arbitrary interleavings of primitives,
 every data structure above is building on solid ground.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

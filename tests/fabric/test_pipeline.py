@@ -1,0 +1,316 @@
+"""Unit tests for the submission/completion pipeline: ``Client.submit``,
+:class:`FarFuture`, the :class:`CompletionQueue`, QP-depth bounds, fence
+ordering, nested batches, and retry interaction with overlap windows."""
+
+import pytest
+
+from repro import Cluster
+from repro.fabric import FaultPlan
+from repro.fabric.errors import AddressError, ClientDeadError
+from repro.fabric.wire import WORD
+
+NODE_SIZE = 8 << 20
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(node_count=2, node_size=NODE_SIZE)
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.client()
+
+
+class TestSubmit:
+    def test_submit_returns_future_with_value(self, cluster, client):
+        a = cluster.allocator.alloc_words(1)
+        client.write_u64(a, 7)
+        future = client.submit("read_u64", a)
+        assert future.result() == 7
+
+    def test_latency_defers_until_completion(self, cluster, client):
+        """Work is counted at submit time; latency is charged at flush."""
+        a = cluster.allocator.alloc_words(1)
+        future = client.submit("read_u64", a)
+        assert client.metrics.far_accesses == 1
+        assert not future.done()
+        assert client.clock.now_ns == 0
+        future.result()
+        assert future.done()
+        assert client.clock.now_ns == pytest.approx(client.cost_model.far_ns)
+
+    def test_result_completes_window_peers_together(self, cluster, client):
+        """Completing one future flushes its whole window, like draining
+        a hardware CQ: peers land at the same simulated instant."""
+        a = cluster.allocator.alloc_words(4)
+        futures = [client.submit("read_u64", a + i * WORD) for i in range(4)]
+        futures[0].result()
+        assert all(f.done() for f in futures)
+        assert len({f.completed_at_ns for f in futures}) == 1
+
+    def test_window_charges_max_plus_issue_slots(self, cluster, client):
+        a = cluster.allocator.alloc_words(8)
+        model = client.cost_model
+        for i in range(8):
+            client.submit("write_u64", a + i * WORD, i)
+        client.cq.wait_all()
+        # One overlapped window (max latency + 7 doorbell slots), plus
+        # the near-memory cost of reaping 8 completions from the CQ.
+        assert client.clock.now_ns == pytest.approx(
+            model.far_ns + 7 * model.issue_ns + model.near_access_ns(8)
+        )
+        assert client.metrics.far_accesses == 8  # overlap never hides work
+
+    def test_unknown_op_rejected(self, client):
+        with pytest.raises(ValueError):
+            client.submit("frobnicate", 0)
+
+    def test_failure_is_captured_not_raised_at_submit(self, client):
+        future = client.submit("read_u64", 1 << 60)
+        error = future.exception()
+        assert isinstance(error, AddressError)
+        with pytest.raises(AddressError):
+            future.result()
+
+    def test_submit_is_eager(self, cluster, client):
+        """The store is visible to other clients before the window
+        flushes (the simulator executes at submit time; only the
+        submitter's latency accounting defers)."""
+        a = cluster.allocator.alloc_words(1)
+        future = client.submit("write_u64", a, 42)
+        other = Cluster.client(cluster, "observer")
+        assert other.read_u64(a) == 42
+        future.result()
+
+
+class TestCompletionQueue:
+    def test_signaled_completions_land_in_cq(self, cluster, client):
+        a = cluster.allocator.alloc_words(2)
+        f1 = client.submit("read_u64", a)
+        f2 = client.submit("read_u64", a + WORD)
+        assert client.cq.outstanding() == 2
+        assert client.cq.ready() == 0
+        client.fence()
+        assert client.cq.outstanding() == 0
+        assert client.cq.ready() == 2
+        assert client.cq.poll() == [f1, f2]
+        assert client.cq.ready() == 0
+
+    def test_unsignaled_submissions_skip_the_cq(self, cluster, client):
+        a = cluster.allocator.alloc_words(1)
+        future = client.submit("read_u64", a, signaled=False)
+        client.fence()
+        assert client.cq.ready() == 0
+        assert future.done()
+
+    def test_direct_reap_consumes_the_completion(self, cluster, client):
+        """A future whose result is taken in hand never shows up in a
+        later poll (no double delivery)."""
+        a = cluster.allocator.alloc_words(2)
+        f1 = client.submit("read_u64", a)
+        f2 = client.submit("read_u64", a + WORD)
+        f1.result()  # flushes the window, reaps f1 inline
+        assert client.cq.poll() == [f2]
+
+    def test_wait_all_flushes_and_reaps(self, cluster, client):
+        a = cluster.allocator.alloc_words(4)
+        futures = [client.submit("read_u64", a + i * WORD) for i in range(4)]
+        reaped = client.cq.wait_all()
+        assert reaped == futures
+        assert client.cq.outstanding() == 0
+
+    def test_poll_costs_near_memory_only(self, cluster, client):
+        a = cluster.allocator.alloc_words(2)
+        client.submit("read_u64", a)
+        client.submit("read_u64", a + WORD)
+        client.fence()
+        far_before = client.metrics.far_accesses
+        near_before = client.metrics.near_accesses
+        client.cq.poll()
+        assert client.metrics.far_accesses == far_before
+        assert client.metrics.near_accesses == near_before + 2
+
+    def test_sync_shims_never_pollute_the_cq(self, cluster, client):
+        a = cluster.allocator.alloc_words(1)
+        client.write_u64(a, 1)
+        client.read_u64(a)
+        client.cas(a, 1, 2)
+        assert client.cq.ready() == 0
+
+
+class TestQpDepth:
+    def test_qp_depth_validated(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.client(qp_depth=0)
+
+    def test_window_auto_flushes_at_qp_depth(self, cluster):
+        c = cluster.client(qp_depth=4)
+        a = cluster.allocator.alloc_words(8)
+        futures = [c.submit("read_u64", a + i * WORD) for i in range(4)]
+        # The fourth submission hit the depth bound: stall + flush.
+        assert all(f.done() for f in futures)
+        assert c.cq.outstanding() == 0
+        assert c.metrics.pipeline_stalls == 1
+
+    def test_depth_one_degenerates_to_serial(self, cluster):
+        c = cluster.client(qp_depth=1)
+        a = cluster.allocator.alloc_words(4)
+        for i in range(4):
+            c.submit("read_u64", a + i * WORD)
+        assert c.clock.now_ns == pytest.approx(4 * c.cost_model.far_ns)
+
+    def test_batch_scope_pins_window_past_qp_depth(self, cluster):
+        c = cluster.client(qp_depth=2)
+        a = cluster.allocator.alloc_words(8)
+        model = c.cost_model
+        with c.batch():
+            for i in range(8):
+                c.submit("write_u64", a + i * WORD, i, signaled=False)
+        assert c.metrics.pipeline_stalls == 0
+        assert c.clock.now_ns == pytest.approx(model.far_ns + 7 * model.issue_ns)
+
+
+class TestPipelineMetrics:
+    def test_depth_and_overlap_counters(self, cluster, client):
+        a = cluster.allocator.alloc_words(8)
+        model = client.cost_model
+        for i in range(8):
+            client.submit("read_u64", a + i * WORD, signaled=False)
+        client.fence()
+        delta = client.metrics
+        assert delta.pipeline_ops == 8
+        assert delta.pipeline_flushes == 1
+        assert delta.avg_pipeline_depth() == pytest.approx(8.0)
+        charged = model.far_ns + 7 * model.issue_ns
+        serial = 8 * model.far_ns
+        assert delta.pipeline_charged_ns == int(charged)
+        assert delta.overlap_saved_ns == int(serial - charged)
+        assert delta.overlap_efficiency() == pytest.approx(
+            (serial - charged) / serial
+        )
+
+    def test_serial_shims_report_zero_overlap(self, cluster, client):
+        a = cluster.allocator.alloc_words(4)
+        for i in range(4):
+            client.read_u64(a + i * WORD)
+        assert client.metrics.avg_pipeline_depth() == pytest.approx(1.0)
+        assert client.metrics.overlap_saved_ns == 0
+        assert client.metrics.overlap_efficiency() == 0.0
+
+
+class TestFenceOrdering:
+    def test_fence_completes_outstanding_submissions(self, cluster, client):
+        a = cluster.allocator.alloc_words(1)
+        future = client.submit("write_u64", a, 9)
+        assert not future.done()
+        client.fence()
+        assert future.done()
+        assert client.metrics.custom["fences"] == 1
+
+    def test_fence_orders_submission_groups(self, cluster, client):
+        """Ops separated by a fence occupy separate windows: two full
+        round trips, and completion times observe the fence order."""
+        a = cluster.allocator.alloc_words(2)
+        model = client.cost_model
+        first = client.submit("write_u64", a, 1)
+        client.fence()
+        second = client.submit("write_u64", a + WORD, 2)
+        client.fence()
+        assert client.clock.now_ns == pytest.approx(2 * model.far_ns)
+        assert first.completed_at_ns < second.completed_at_ns
+
+    def test_fence_on_empty_window_is_free(self, client):
+        client.fence()
+        assert client.clock.now_ns == 0
+        assert client.metrics.pipeline_flushes == 0
+
+
+class TestNestedBatch:
+    def test_nested_batches_flatten_to_one_window(self, cluster, client):
+        a = cluster.allocator.alloc_words(4)
+        model = client.cost_model
+        with client.batch():
+            client.write_u64(a, 0)
+            with client.batch():
+                client.write_u64(a + WORD, 1)
+                with client.batch():
+                    client.write_u64(a + 2 * WORD, 2)
+            client.write_u64(a + 3 * WORD, 3)
+        # One flat window of four ops, flushed once at the outermost exit.
+        assert client.metrics.pipeline_flushes == 1
+        assert client.metrics.avg_pipeline_depth() == pytest.approx(4.0)
+        assert client.clock.now_ns == pytest.approx(
+            model.far_ns + 3 * model.issue_ns
+        )
+
+    def test_inner_exit_does_not_flush(self, cluster, client):
+        a = cluster.allocator.alloc_words(2)
+        with client.batch():
+            with client.batch():
+                future = client.submit("read_u64", a)
+            assert not future.done()  # inner scope exit deferred
+            client.submit("read_u64", a + WORD, signaled=False)
+        assert future.done()
+
+    def test_values_stay_eager_inside_nested_batch(self, cluster, client):
+        a = cluster.allocator.alloc_words(1)
+        client.write_u64(a, 5)
+        with client.batch():
+            with client.batch():
+                assert client.read_u64(a) == 5  # value now, latency later
+            assert client.faa(a, 1) == 5
+        assert client.read_u64(a) == 6
+
+
+class TestRetryOverlap:
+    def test_backoff_folds_into_the_window(self, cluster):
+        """Regression: a retried op inside a ``batch()`` window
+        contributes its whole recovery time (timeout + backoff + retry)
+        as *its* charge — overlapped with its peers via max(), not
+        serialized on top of the window."""
+        a = cluster.allocator.alloc_words(8)
+        cluster.inject_faults(seed=3, plan=FaultPlan().timeout_at(0))
+        c = cluster.client()
+        model = c.cost_model
+        with c.batch():
+            futures = [c.submit("read_u64", a + i * WORD) for i in range(8)]
+        assert c.metrics.retries == 1
+        charges = [f.charge_ns for f in futures]
+        # The faulted op's charge carries the recovery; peers stay clean.
+        assert max(charges) > model.timeout_ns
+        assert sorted(charges)[-2] == pytest.approx(model.far_ns)
+        # Wall-clock is the overlapped window, not the serial sum.
+        expected = max(charges) + (len(charges) - 1) * model.issue_ns
+        assert c.clock.now_ns == pytest.approx(expected)
+        assert c.clock.now_ns < sum(charges)
+
+    def test_clean_peers_unaffected_by_neighbor_retry(self, cluster):
+        a = cluster.allocator.alloc_words(4)
+        cluster.inject_faults(seed=3, plan=FaultPlan().timeout_at(1))
+        c = cluster.client()
+        with c.batch():
+            futures = [c.submit("read_u64", a + i * WORD) for i in range(4)]
+        values = [f.result() for f in futures]
+        assert values == [0, 0, 0, 0]
+        assert c.metrics.far_accesses == 4  # retries re-count nothing
+
+
+class TestCrash:
+    def test_crash_fails_outstanding_futures(self, cluster):
+        c = cluster.client()
+        a = cluster.allocator.alloc_words(2)
+        f1 = c.submit("read_u64", a)
+        f2 = c.submit("read_u64", a + WORD)
+        c.crash()
+        assert f1.done() and f2.done()
+        with pytest.raises(ClientDeadError):
+            f1.result()
+        assert isinstance(f2.exception(), ClientDeadError)
+        assert c.cq.ready() == 0
+
+    def test_dead_client_rejects_submissions(self, cluster):
+        c = cluster.client()
+        c.crash()
+        with pytest.raises(ClientDeadError):
+            c.submit("read_u64", 0)

@@ -6,7 +6,6 @@ the delivery guarantee: every enqueued item is delivered at least once,
 and any duplicate is flagged by the scrub report.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

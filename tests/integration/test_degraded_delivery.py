@@ -6,7 +6,6 @@ accordingly". These tests run the monitoring consumer and the cached
 vector under degraded policies and check the adaptations actually hold.
 """
 
-import pytest
 
 from repro import Cluster
 from repro.apps.monitoring import AlarmConsumer, AlarmLevel, MetricProducer, WindowedHistogramRing

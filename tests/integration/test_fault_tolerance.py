@@ -15,7 +15,6 @@ queue enqueue/dequeue, and replicated reads. The contract under chaos:
 
 from __future__ import annotations
 
-import pytest
 
 from repro import Cluster
 from repro.fabric import FaultPlan, RetryPolicy

@@ -12,7 +12,7 @@ import pytest
 from repro import Cluster
 from repro.apps.kvstore import FarKVStore
 from repro.apps.monitoring import AlarmConsumer, MetricProducer, WindowedHistogramRing
-from repro.fabric.errors import NodeUnavailableError, QueueEmpty
+from repro.fabric.errors import QueueEmpty
 from repro.fabric.replication import ReplicatedRegion
 from repro.recovery import LeasedFarMutex, QueueScrubber
 from repro.workloads import MetricStream

@@ -3,9 +3,8 @@
 import pytest
 
 from repro import Cluster
-from repro.alloc import near, on_node, spread
+from repro.alloc import near, on_node
 from repro.fabric import IndirectionPolicy
-from repro.fabric.wire import WORD
 
 NODE_SIZE = 8 << 20
 

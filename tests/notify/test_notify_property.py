@@ -6,7 +6,6 @@ no spurious matches — for arbitrary subscription layouts and write
 patterns within a page.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

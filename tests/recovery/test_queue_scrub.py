@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Cluster
-from repro.core.queue import EMPTY
 from repro.fabric.errors import QueueEmpty
 from repro.fabric.wire import WORD, encode_u64
 from repro.recovery import QueueScrubber
