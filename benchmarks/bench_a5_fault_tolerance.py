@@ -22,21 +22,22 @@ import os
 
 from repro.fabric import FaultPlan, RetryPolicy
 from repro.fabric.errors import FabricError
+from repro.obs import LatencyHistogram, Tracer
 
-from helpers import build_cluster, get_seed, print_table, record, run_once
+from helpers import (
+    build_cluster,
+    get_seed,
+    print_table,
+    print_trace_summary,
+    record,
+    run_once,
+)
 
 SMOKE = bool(os.environ.get("FM_BENCH_SMOKE"))
 ITEMS = 200 if SMOKE else 1_000
 LOOKUPS = 100 if SMOKE else 400
 QUEUE_PAIRS = 100 if SMOKE else 400
 FAULT_RATES = (0.0, 0.01, 0.02, 0.05, 0.1)
-
-
-def _percentile(sorted_values, fraction):
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
-    return sorted_values[index]
 
 
 def _run_at_rate(rate, seed):
@@ -56,7 +57,9 @@ def _run_at_rate(rate, seed):
         )
 
     c = cluster.client("worker", retry_policy=RetryPolicy(max_attempts=4))
-    latencies = []
+    tracer = Tracer()
+    tracer.attach(c)
+    hist = LatencyHistogram()
     issued = completed = errors = 0
     snapshot = c.metrics.snapshot()
     started_ns = c.clock.now_ns
@@ -71,25 +74,31 @@ def _run_at_rate(rate, seed):
             errors += 1
         else:
             completed += 1
-        latencies.append(c.clock.now_ns - begin)
+        hist.record(c.clock.now_ns - begin)
 
     lookup_snapshot = c.metrics.snapshot()
-    for i in range(LOOKUPS):
-        timed(lambda: tree.get(c, i % ITEMS))
+    with tracer.span(c, "a5.lookups", rate=rate):
+        for i in range(LOOKUPS):
+            timed(lambda: tree.get(c, i % ITEMS))
     tree_far = c.metrics.delta(lookup_snapshot).far_accesses
     tree_done = completed
 
-    for i in range(QUEUE_PAIRS):
-        timed(lambda: queue.enqueue(c, i + 1))
-        timed(lambda: queue.dequeue(c))
+    with tracer.span(c, "a5.queue_pairs", rate=rate):
+        for i in range(QUEUE_PAIRS):
+            timed(lambda: queue.enqueue(c, i + 1))
+            timed(lambda: queue.dequeue(c))
 
     delta = c.metrics.delta(snapshot)
-    latencies.sort()
     elapsed_ns = c.clock.now_ns - started_ns
+    tracer.finish()
+    # No lost or double-counted attribution: the spans (including the
+    # client's root span) account for every far access the worker made.
+    assert tracer.attributed_far_accesses() == delta.far_accesses
     return {
         "rate": rate,
-        "p50_ns": _percentile(latencies, 0.50),
-        "p99_ns": _percentile(latencies, 0.99),
+        "p50_ns": hist.p50,
+        "p90_ns": hist.p90,
+        "p99_ns": hist.p99,
         "elapsed_ns": elapsed_ns,
         "tree_far_per_lookup": tree_far / max(1, tree_done),
         "fast_path_fraction": queue.stats.fast_path_fraction(),
@@ -99,6 +108,8 @@ def _run_at_rate(rate, seed):
         "issued": issued,
         "completed": completed,
         "errors": errors,
+        "retry_events": len(tracer.events_by_kind("backoff")),
+        "trace_summary": tracer.summary(),
     }
 
 
@@ -117,6 +128,7 @@ def test_a5_fault_tolerance(benchmark):
         [
             "fault rate",
             "p50 ns",
+            "p90 ns",
             "p99 ns",
             "sim time (us)",
             "far/lookup",
@@ -130,6 +142,7 @@ def test_a5_fault_tolerance(benchmark):
             (
                 r["rate"],
                 r["p50_ns"],
+                r["p90_ns"],
                 r["p99_ns"],
                 r["elapsed_ns"] / 1_000,
                 r["tree_far_per_lookup"],
@@ -141,6 +154,10 @@ def test_a5_fault_tolerance(benchmark):
             )
             for r in results
         ],
+    )
+    worst = results[-1]
+    print_trace_summary(
+        f"per-phase spans at fault rate {worst['rate']}", worst["trace_summary"]
     )
     record(
         benchmark,
@@ -158,6 +175,9 @@ def test_a5_fault_tolerance(benchmark):
     # Faults actually bit at the higher rates, and retries absorbed most.
     assert results[-1]["timeouts"] > 0
     assert results[-1]["retries"] > 0
+    # The tracer saw every retry the metrics counted (one backoff event
+    # per re-attempt, attached to the faulted op's span).
+    assert all(r["retry_events"] == r["retries"] for r in results)
     assert results[-1]["errors"] < results[-1]["issued"] * 0.05
     # Graceful: tail latency and total time grow with the rate, no cliff.
     # (Percentiles over the tiny smoke workload are too noisy to order.)

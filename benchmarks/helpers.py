@@ -67,6 +67,16 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def print_trace_summary(title: str, summary: str) -> None:
+    """Print a tracer's one-screen span/event summary under a header.
+
+    Latency percentiles come from the shared histogram implementation
+    (:mod:`repro.obs.histogram`) — benches must not reimplement them.
+    """
+    print(f"\n-- {title} --")
+    print(summary)
+
+
 def record(benchmark, info: Mapping[str, object]) -> None:
     """Attach the experiment's key numbers to the benchmark report."""
     for key, value in info.items():

@@ -51,6 +51,7 @@ from .fabric import (
     ReplicatedRegion,
     RetryPolicy,
 )
+from .obs import HistogramSet, LatencyHistogram, Tracer
 
 __version__ = "0.1.0"
 
@@ -81,5 +82,8 @@ __all__ = [
     "FarVector",
     "HTTree",
     "RefreshableVector",
+    "HistogramSet",
+    "LatencyHistogram",
+    "Tracer",
     "__version__",
 ]

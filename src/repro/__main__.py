@@ -1,22 +1,43 @@
-"""``python -m repro`` — a one-minute guided demo of the reproduction.
+"""``python -m repro`` — CLI entry points for the reproduction.
 
-Prints the library's inventory, runs a tiny end-to-end scenario with
-exact far-access accounting, and points at the real entry points
-(examples, tests, benchmarks).
+* ``python -m repro`` — a one-minute guided demo: a tiny end-to-end
+  scenario with exact far-access accounting, profiled and traced, ending
+  in a one-screen trace/histogram summary.
+* ``python -m repro trace <example> [--out DIR]`` — run an example
+  script (``examples/<name>.py`` or any path) under a tracer and export
+  the JSONL event stream plus a Chrome trace-event JSON (open it in
+  ``chrome://tracing`` or https://ui.perfetto.dev).
+* ``python -m repro validate <trace.json>`` — check an exported Chrome
+  trace against the minimal schema (B/E balance, monotone timestamps).
 """
 
 from __future__ import annotations
 
+import argparse
+import os
+import runpy
+from typing import Optional, Sequence
+
 from repro import Cluster, __version__
 from repro.fabric.profile import Profiler
+from repro.obs import (
+    Tracer,
+    load_chrome_trace,
+    set_default_tracer,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 
 
-def main() -> None:
+def _demo() -> int:
     print(f"repro {__version__} — Far Memory Data Structures (HotOS '19)\n")
     print("simulated fabric: 2 memory nodes x 32 MiB, 100 ns near / 1 us far\n")
 
     cluster = Cluster(node_count=2, node_size=32 << 20)
     client = cluster.client("you")
+    tracer = Tracer()
+    tracer.attach(client)
     profiler = Profiler()
 
     tree = cluster.ht_tree(bucket_count=1024)
@@ -45,14 +66,115 @@ def main() -> None:
         f"{client.metrics.near_accesses} near accesses, "
         f"{client.clock.now_ns / 1e6:.2f} simulated ms"
     )
+
+    tracer.finish()
+    print("\n-- trace summary (spans nest: profiler labels > structure ops) --")
+    print(tracer.summary(max_rows=8))
+    print("\n-- far-access latency by fabric op --")
+    print(tracer.op_hist.render())
+
     print(
         "\nnext:\n"
         "  python examples/quickstart.py          # the full tour\n"
-        "  pytest tests/                          # ~650 tests\n"
+        "  python -m repro trace quickstart       # same, exported as a trace\n"
+        "  pytest tests/                          # the test suite\n"
         "  pytest benchmarks/ --benchmark-only -s # the paper's experiments\n"
         "  less DESIGN.md EXPERIMENTS.md          # what maps to what"
     )
+    return 0
+
+
+def _resolve_target(target: str) -> str:
+    """An example name (``quickstart``), example file, or any script path."""
+    candidates = [
+        target,
+        os.path.join("examples", target),
+        os.path.join("examples", f"{target}.py"),
+    ]
+    here = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    candidates.append(os.path.join(here, "examples", f"{target}.py"))
+    for candidate in candidates:
+        if os.path.isfile(candidate):
+            return candidate
+    raise SystemExit(
+        f"error: cannot find {target!r} (tried {', '.join(candidates)})"
+    )
+
+
+def _trace(target: str, out_dir: str) -> int:
+    path = _resolve_target(target)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    tracer = Tracer()
+    # Every client the script creates auto-attaches to this tracer; the
+    # script itself runs unmodified.
+    set_default_tracer(tracer)
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        set_default_tracer(None)
+    tracer.finish()
+
+    os.makedirs(out_dir, exist_ok=True)
+    jsonl_path = os.path.join(out_dir, f"{stem}.trace.jsonl")
+    chrome_path = os.path.join(out_dir, f"{stem}.trace.json")
+    records = write_jsonl(jsonl_path, tracer)
+    document = write_chrome_trace(chrome_path, tracer)
+    problems = validate_chrome_trace(document)
+
+    print(f"\n-- trace of {path} --")
+    print(tracer.summary())
+    print(
+        f"\nwrote {jsonl_path} ({records} records) and {chrome_path} "
+        f"({len(document['traceEvents'])} events; open in chrome://tracing "
+        "or ui.perfetto.dev)"
+    )
+    if problems:
+        print("exported trace FAILED validation:")
+        for problem in problems[:10]:
+            print(f"  - {problem}")
+        return 1
+    print("exported trace passed schema validation")
+    return 0
+
+
+def _validate(path: str) -> int:
+    problems = validate_chrome_trace(load_chrome_trace(path))
+    if problems:
+        print(f"{path}: INVALID ({len(problems)} problems)")
+        for problem in problems[:20]:
+            print(f"  - {problem}")
+        return 1
+    print(f"{path}: OK")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Far Memory Data Structures (HotOS '19) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command")
+    trace_parser = sub.add_parser(
+        "trace", help="run an example under the tracer and export the trace"
+    )
+    trace_parser.add_argument(
+        "target", help="example name (e.g. quickstart) or script path"
+    )
+    trace_parser.add_argument(
+        "--out", default="traces", help="output directory (default: traces/)"
+    )
+    validate_parser = sub.add_parser(
+        "validate", help="schema-check an exported Chrome trace JSON"
+    )
+    validate_parser.add_argument("trace_json", help="path to a .trace.json file")
+
+    args = parser.parse_args(argv)
+    if args.command == "trace":
+        return _trace(args.target, args.out)
+    if args.command == "validate":
+        return _validate(args.trace_json)
+    return _demo()
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

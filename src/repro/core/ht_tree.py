@@ -347,6 +347,14 @@ class HTTree:
     def get(self, client: Client, key: int, *, _depth: int = 0) -> Optional[int]:
         """Look up ``key``: one far access on the fast path (fresh cache,
         chain length <= 1). Returns the value or None."""
+        if _depth == 0:
+            # Stale-cache retries (_depth > 0) re-enter here and stay
+            # inside the original span: one logical lookup, one span.
+            with client.trace("httree.get", key=key):
+                return self._get(client, key, 0)
+        return self._get(client, key, _depth)
+
+    def _get(self, client: Client, key: int, _depth: int) -> Optional[int]:
         self._check_key(key)
         if _depth == 0:
             self.stats.lookups += 1
@@ -388,6 +396,12 @@ class HTTree:
         keys trigger one cache refresh per round, then retry together.
         Returns values aligned with ``keys`` (None for misses).
         """
+        with client.trace("httree.multiget", n=len(keys)):
+            return self._multiget(client, keys)
+
+    def _multiget(
+        self, client: Client, keys: "list[int]"
+    ) -> "list[Optional[int]]":
         for key in keys:
             self._check_key(key)
         self.stats.lookups += len(keys)
@@ -456,6 +470,12 @@ class HTTree:
         """Insert or update ``key``: two far accesses to update an existing
         head-of-chain item; three to insert a new item (version-check read,
         record write, bucket CAS)."""
+        if _depth == 0:
+            with client.trace("httree.put", key=key):
+                return self._put(client, key, value, 0)
+        return self._put(client, key, value, _depth)
+
+    def _put(self, client: Client, key: int, value: int, _depth: int) -> None:
         self._check_key(key)
         if _depth > 4:
             raise StaleCacheError("HT-tree cache failed to converge after refreshes")
@@ -525,6 +545,12 @@ class HTTree:
         concurrent clients would. Splits are deferred to the end and run
         sequentially.
         """
+        with client.trace("httree.multistore", n=len(pairs)):
+            return self._multistore(client, pairs)
+
+    def _multistore(
+        self, client: Client, pairs: "list[tuple[int, int]]"
+    ) -> None:
         for key, _ in pairs:
             self._check_key(key)
         pending = list(range(len(pairs)))
@@ -679,6 +705,12 @@ class HTTree:
     def delete(self, client: Client, key: int, *, _depth: int = 0) -> bool:
         """Remove ``key``; True if it was present. Two far accesses when
         the key is the chain head (read + CAS unlink)."""
+        if _depth == 0:
+            with client.trace("httree.delete", key=key):
+                return self._delete(client, key, 0)
+        return self._delete(client, key, _depth)
+
+    def _delete(self, client: Client, key: int, _depth: int) -> bool:
         self._check_key(key)
         if _depth > 4:
             raise StaleCacheError("HT-tree cache failed to converge after refreshes")
@@ -736,6 +768,14 @@ class HTTree:
         plus one gather per chain level) and filtered client-side: the
         HT-tree trades scan granularity for its O(1) point lookups.
         """
+        if _depth == 0:
+            with client.trace("httree.scan", low=low, high=high):
+                return self._scan(client, low, high, 0)
+        return self._scan(client, low, high, _depth)
+
+    def _scan(
+        self, client: Client, low: int, high: int, _depth: int
+    ) -> list[tuple[int, int]]:
         self._check_key(low)
         self._check_key(high)
         if low > high:

@@ -262,6 +262,10 @@ class FarQueue:
         (detected before the fast-path store, via the amortised head
         refresh — never on the fast path itself).
         """
+        with client.trace("queue.enqueue"):
+            return self._enqueue(client, value)
+
+    def _enqueue(self, client: Client, value: int) -> None:
         if not 0 <= value < EMPTY:
             raise ValueError("value must be a u64 other than the EMPTY sentinel")
         state = self._state(client)
@@ -310,6 +314,10 @@ class FarQueue:
         guard, so :class:`QueueFull` fires after the same prefix the
         serial loop would have enqueued).
         """
+        with client.trace("queue.enqueue_many", n=len(values)):
+            return self._enqueue_many(client, values)
+
+    def _enqueue_many(self, client: Client, values: "list[int]") -> None:
         for value in values:
             if not 0 <= value < EMPTY:
                 raise ValueError(
@@ -374,6 +382,10 @@ class FarQueue:
         the claimed item is returned by a later call once a producer
         fills the slot.
         """
+        with client.trace("queue.dequeue"):
+            return self._dequeue(client)
+
+    def _dequeue(self, client: Client) -> int:
         state = self._state(client)
 
         if state.pending_claim is not None:
@@ -428,6 +440,10 @@ class FarQueue:
         :meth:`dequeue`, nothing is raised, but a claim may be left armed
         on this client just the same.
         """
+        with client.trace("queue.dequeue_many", max_items=max_items):
+            return self._dequeue_many(client, max_items)
+
+    def _dequeue_many(self, client: Client, max_items: int) -> "list[int]":
         state = self._state(client)
         out: "list[int]" = []
         while len(out) < max_items:

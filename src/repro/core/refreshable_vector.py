@@ -175,13 +175,17 @@ class RefreshableVector:
         case is single-writer per shard); multi-writer deployments should
         shard the vector or use :meth:`set_multi_writer`.
         """
-        self._check_index(index)
-        slot = index if self.element_versions else self.group_of(index)
-        self._writer_versions[slot] += 1
-        client.wscatter(
-            [(self._element_address(index), WORD), (self._version_address(slot), WORD)],
-            encode_u64(value) + encode_u64(int(self._writer_versions[slot])),
-        )
+        with client.trace("rvec.set", index=index):
+            self._check_index(index)
+            slot = index if self.element_versions else self.group_of(index)
+            self._writer_versions[slot] += 1
+            client.wscatter(
+                [
+                    (self._element_address(index), WORD),
+                    (self._version_address(slot), WORD),
+                ],
+                encode_u64(value) + encode_u64(int(self._writer_versions[slot])),
+            )
 
     def set_multi_writer(self, client: Client, index: int, value: int) -> None:
         """Writer path safe under concurrent writers: element write plus an
@@ -194,6 +198,10 @@ class RefreshableVector:
     def set_many(self, client: Client, updates: dict[int, int]) -> None:
         """Write a batch of elements and their version bumps in one
         ``wscatter`` (one far access for any batch size)."""
+        with client.trace("rvec.set_many", n=len(updates)):
+            return self._set_many(client, updates)
+
+    def _set_many(self, client: Client, updates: dict[int, int]) -> None:
         iovec: list[tuple[int, int]] = []
         payload: list[bytes] = []
         touched: set[int] = set()
@@ -249,11 +257,12 @@ class RefreshableVector:
 
     def refresh(self, client: Client) -> RefreshReport:
         """Bring the cache up to date; at most two far accesses."""
-        state = self._reader(client)
-        state.refreshes += 1
-        if state.mode == "poll":
-            return self._refresh_poll(client, state)
-        return self._refresh_notify(client, state)
+        with client.trace("rvec.refresh"):
+            state = self._reader(client)
+            state.refreshes += 1
+            if state.mode == "poll":
+                return self._refresh_poll(client, state)
+            return self._refresh_notify(client, state)
 
     def _refresh_poll(self, client: Client, state: _ReaderState) -> RefreshReport:
         report = RefreshReport(mode="poll", groups_checked=self.version_words)

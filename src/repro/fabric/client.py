@@ -72,6 +72,27 @@ DEFAULT_BREAKER_POLICY = BreakerPolicy()
 DEFAULT_QP_DEPTH = 16
 """Default bound on outstanding submissions (RDMA queue-pair depth)."""
 
+# Observability hook: when set (see repro.obs.set_default_tracer), every
+# subsequently-created client auto-attaches to the provided tracer. This
+# is how `python -m repro trace <example>` observes unmodified scripts.
+_default_tracer_provider = None
+
+
+class _NullSpan:
+    """The no-op span returned by Client.trace when no tracer is attached
+    — so data structures can open spans unconditionally at zero cost."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
 
 class Client:
     """One compute-node client of the far memory pool."""
@@ -112,6 +133,16 @@ class Client:
         # The future whose operation is currently executing; all latency
         # charged while it is set folds into that future's contribution.
         self._issue_ctx: Optional[FarFuture] = None
+        # Observability (repro.obs). The tracer is a pure observer: every
+        # hook below is bookkeeping only, so metrics and timestamps are
+        # bit-identical with tracing on or off. _trace_node carries the
+        # target memory node from _issue to _account_far (tracing only).
+        self._tracer = None
+        self._trace_node: Optional[int] = None
+        if _default_tracer_provider is not None:
+            tracer = _default_tracer_provider()
+            if tracer is not None:
+                tracer.attach(self)
 
     @classmethod
     def reset_ids(cls) -> None:
@@ -148,6 +179,26 @@ class Client:
     def _check_alive(self) -> None:
         if not self.alive:
             raise ClientDeadError(f"{self.name} has crashed")
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The attached :class:`repro.obs.Tracer`, or None."""
+        return self._tracer
+
+    def trace(self, label: str, **tags: Any):
+        """Open a tracing span attributing this client's work to ``label``.
+
+        With no tracer attached this returns a shared no-op context
+        manager, so data structures call it unconditionally and untraced
+        runs stay bit-identical (no allocation, no metric, no clock).
+        """
+        if self._tracer is None:
+            return _NULL_SPAN
+        return self._tracer.span(self, label, **tags)
 
     # ------------------------------------------------------------------
     # Time + accounting plumbing
@@ -196,12 +247,22 @@ class Client:
         # A latency-spike fault slows this op without failing it; the
         # multiplier is 1.0 whenever no injector is attached or no spike
         # fired, so the fault-free path charges exactly what it always has.
-        self._advance(
-            self.fabric.consume_fault_latency()
-            * self.cost_model.far_access_ns(
-                nbytes_read + nbytes_written, forward_hops=forward_hops
-            )
+        charge = self.fabric.consume_fault_latency() * self.cost_model.far_access_ns(
+            nbytes_read + nbytes_written, forward_hops=forward_hops
         )
+        self._advance(charge)
+        if self._tracer is not None:
+            self._tracer.on_far_access(
+                self,
+                op=self._issue_ctx.op if self._issue_ctx is not None else None,
+                charge_ns=charge,
+                node=self._trace_node,
+                nbytes_read=nbytes_read,
+                nbytes_written=nbytes_written,
+                forward_hops=forward_hops,
+                segments=segments,
+                atomic=atomic,
+            )
 
     def charge_far_access(
         self, *, nbytes_read: int = 0, nbytes_written: int = 0
@@ -209,6 +270,7 @@ class Client:
         """Charge this client for one far access performed on its behalf
         by another subsystem (e.g. installing a notification subscription
         at a memory node)."""
+        self._trace_node = None  # no address: the tracer sees "external"
         self._account_far(nbytes_read=nbytes_read, nbytes_written=nbytes_written)
 
     def touch_local(self, count: int = 1) -> None:
@@ -268,6 +330,9 @@ class Client:
             return future
         self._check_alive()
         self.metrics.pipeline_ops += 1
+        if self._tracer is not None:
+            span = self._tracer.current_span(self)
+            future.span_id = span.span_id if span is not None else None
         self._issue_ctx = future
         try:
             future._resolve(impl(*args, **kwargs))
@@ -281,17 +346,21 @@ class Client:
         self._window_futures.append(future)
         if self._batch_depth == 0 and len(self._window_futures) >= self.qp_depth:
             self.metrics.pipeline_stalls += 1
-            self._flush_window()
+            if self._tracer is not None:
+                self._tracer.on_stall(self)
+            self._flush_window(reason="stall")
         return future
 
-    def _flush_window(self) -> None:
+    def _flush_window(self, reason: str = "drain") -> None:
         """Ring the doorbell: charge the open window and complete its
         futures. The window costs ``max(contributions) + (n - 1) *
         issue_ns`` — overlap hides latency; the metrics counted every
-        operation individually at issue time."""
+        operation individually at issue time. ``reason`` is observability
+        only (why the doorbell rang: stall/batch/fence/reap/drain)."""
         charges, self._window_charges = self._window_charges, []
         futures, self._window_futures = self._window_futures, []
         if charges:
+            start_ns = self.clock.now_ns
             charged = self.cost_model.window_ns(charges)
             self.clock.advance(charged)
             m = self.metrics
@@ -300,6 +369,17 @@ class Client:
             serial = sum(charges)
             if serial > charged:
                 m.overlap_saved_ns += int(serial - charged)
+            if self._tracer is not None:
+                self._tracer.on_window(
+                    self,
+                    start_ns=start_ns,
+                    charged_ns=charged,
+                    serial_ns=serial,
+                    saved_ns=max(0.0, serial - charged),
+                    reason=reason,
+                    ops=[(f.op, f.charge_ns, f.span_id) for f in futures],
+                    n_charges=len(charges),
+                )
         now = self.clock.now_ns
         for future in futures:
             future._complete(now)
@@ -315,7 +395,7 @@ class Client:
             # already known (eager execution) and returned uncharged.
             return
         if future in self._window_futures:
-            self._flush_window()
+            self._flush_window(reason="reap")
 
     def _window_outstanding(self) -> int:
         return len(self._window_futures)
@@ -336,7 +416,7 @@ class Client:
         finally:
             self._batch_depth -= 1
             if self._batch_depth == 0:
-                self._flush_window()
+                self._flush_window(reason="batch")
 
     def fence(self) -> None:
         """Ordering point: all prior operations complete before later ones.
@@ -347,7 +427,7 @@ class Client:
         intent (and is counted, for audit).
         """
         self.metrics.bump("fences")
-        self._flush_window()
+        self._flush_window(reason="fence")
 
     # ------------------------------------------------------------------
     # Retry / circuit-breaker machinery
@@ -389,12 +469,18 @@ class Client:
         fabric = self.fabric
         policy = self.retry_policy
         if policy is None and self.breaker_policy is None:
+            if self._tracer is not None:
+                self._trace_node = fabric.node_of(address)
             fabric.fault_check(address)
             return op(*args)
         node = fabric.node_of(address)
+        if self._tracer is not None:
+            self._trace_node = node
         breaker = self._breaker_for(node)
         if breaker is not None and not breaker.allow(self.clock.now_ns):
             self.metrics.breaker_rejections += 1
+            if self._tracer is not None:
+                self._tracer.on_breaker_reject(self, node=node)
             raise CircuitOpenError(node, address)
         attempts = policy.max_attempts if policy is not None else 1
         token = (self.client_id << 48) ^ address
@@ -412,11 +498,26 @@ class Client:
                 self.metrics.retries += 1
                 self.metrics.backoff_ns += int(backoff)
                 self._advance(backoff)
+                if self._tracer is not None:
+                    self._tracer.on_backoff(
+                        self,
+                        op=self._issue_ctx.op if self._issue_ctx is not None else None,
+                        node=node,
+                        attempt=attempt,
+                        backoff_ns=backoff,
+                    )
             try:
                 fabric.fault_check(address)
                 result = op(*args)
             except FarTimeoutError as err:
                 self.metrics.timeouts += 1
+                if self._tracer is not None:
+                    self._tracer.on_timeout(
+                        self,
+                        op=self._issue_ctx.op if self._issue_ctx is not None else None,
+                        node=node,
+                        attempt=attempt,
+                    )
                 last = err
             except NodeUnavailableError as err:
                 last = err
@@ -433,6 +534,8 @@ class Client:
             if breaker is not None:
                 if breaker.record_failure(self.clock.now_ns):
                     self.metrics.breaker_trips += 1
+                    if self._tracer is not None:
+                        self._tracer.on_breaker_trip(self, node=node)
                 if not breaker.allow(self.clock.now_ns):
                     break  # breaker opened mid-op: stop hammering the node
             if policy is not None and policy.budget_ns is not None:

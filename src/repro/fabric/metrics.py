@@ -154,6 +154,14 @@ class Metrics:
         return "Metrics(" + ", ".join(parts) + ")"
 
 
+# _INT_FIELDS drives snapshot/delta/merge/reset/as_dict; drifting from the
+# dataclass fields would silently drop counters from every ledger. Checked
+# here at import time so a new field cannot be added without it.
+assert set(Metrics._INT_FIELDS) == {
+    f.name for f in fields(Metrics) if f.name != "custom"
+}, "Metrics._INT_FIELDS is out of sync with the dataclass fields"
+
+
 def aggregate(metrics: list[Metrics]) -> Metrics:
     """Sum a list of per-client metrics into one cluster-wide total."""
     total = Metrics()

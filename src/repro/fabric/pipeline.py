@@ -68,6 +68,7 @@ class FarFuture:
         "op",
         "charge_ns",
         "completed_at_ns",
+        "span_id",
         "_state",
         "_value",
         "_error",
@@ -80,6 +81,9 @@ class FarFuture:
         self.op = op
         self.charge_ns: float = 0.0
         self.completed_at_ns: Optional[float] = None
+        # Tracing only: the span this submission was issued under (None
+        # when no tracer is attached). Never read by the pipeline itself.
+        self.span_id: Optional[int] = None
         self._state = _PENDING
         self._value: Any = None
         self._error: Optional[BaseException] = None
@@ -194,7 +198,7 @@ class CompletionQueue:
 
     def wait_all(self) -> list[FarFuture]:
         """Flush the open window, then reap every completion."""
-        self._client._flush_window()
+        self._client._flush_window(reason="reap")
         return self.poll()
 
     def __repr__(self) -> str:

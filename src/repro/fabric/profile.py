@@ -2,9 +2,16 @@
 
 The metrics counters say *how much* a client spent; the profiler says
 *on what*. Wrap logical operations in :meth:`Profiler.measure` and get a
-per-label ledger of far accesses, round trips, bytes, near accesses and
-simulated time — the same breakdown the paper's tables reason in, for any
-application code built on this library.
+per-label ledger of far accesses, round trips, bytes, near accesses,
+pipeline behaviour and simulated time — the same breakdown the paper's
+tables reason in, for any application code built on this library.
+
+Since the observability subsystem (:mod:`repro.obs`) landed, the
+profiler is a thin ledger over :class:`~repro.obs.trace.Tracer` spans —
+one span mechanism, two views. ``measure`` opens a tracer span and
+absorbs its inclusive metrics delta into the label's row, so a profiled
+block also shows up (with events, causality, and histograms) in any
+tracer already attached to the client.
 
 Example::
 
@@ -17,10 +24,13 @@ Example::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from .client import Client
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.trace import Span, Tracer
 
 
 @dataclass
@@ -35,6 +45,10 @@ class ProfileRow:
     bytes_read: int = 0
     bytes_written: int = 0
     notifications: int = 0
+    pipeline_ops: int = 0
+    pipeline_stalls: int = 0
+    pipeline_charged_ns: int = 0
+    overlap_saved_ns: int = 0
     time_ns: float = 0.0
 
     def far_per_op(self) -> float:
@@ -45,32 +59,67 @@ class ProfileRow:
         """Average simulated nanoseconds per measured operation."""
         return self.time_ns / self.count if self.count else 0.0
 
+    def overlap_efficiency(self) -> float:
+        """Fraction of this label's serial far latency hidden by pipeline
+        overlap — same definition as ``Metrics.overlap_efficiency``."""
+        denom = self.overlap_saved_ns + self.pipeline_charged_ns
+        if denom == 0:
+            return 0.0
+        return self.overlap_saved_ns / denom
 
-@dataclass
+
 class Profiler:
-    """A per-label cost ledger (reusable across clients)."""
+    """A per-label cost ledger (reusable across clients).
 
-    rows: dict[str, ProfileRow] = field(default_factory=dict)
+    Rows accumulate from tracer spans. The profiler owns a private
+    :class:`~repro.obs.trace.Tracer` for clients that are not already
+    being traced; a client attached to an external tracer keeps feeding
+    that tracer, and the profiler absorbs the same spans — measuring
+    never conflicts with tracing.
+    """
+
+    def __init__(self) -> None:
+        self.rows: dict[str, ProfileRow] = {}
+        self._tracer: Optional["Tracer"] = None
+
+    @property
+    def tracer(self) -> "Tracer":
+        """The profiler's fallback tracer (created on first use)."""
+        if self._tracer is None:
+            from ..obs.trace import Tracer
+
+            self._tracer = Tracer()
+        return self._tracer
+
+    def _absorb(self, span: "Span") -> None:
+        delta = span.delta
+        row = self.rows.setdefault(span.label, ProfileRow(label=span.label))
+        row.count += 1
+        row.far_accesses += delta.far_accesses
+        row.round_trips += delta.round_trips
+        row.near_accesses += delta.near_accesses
+        row.bytes_read += delta.bytes_read
+        row.bytes_written += delta.bytes_written
+        row.notifications += delta.notifications_received
+        row.pipeline_ops += delta.pipeline_ops
+        row.pipeline_stalls += delta.pipeline_stalls
+        row.pipeline_charged_ns += delta.pipeline_charged_ns
+        row.overlap_saved_ns += delta.overlap_saved_ns
+        row.time_ns += span.duration_ns
 
     @contextmanager
     def measure(self, client: Client, label: str) -> Iterator[None]:
         """Attribute everything ``client`` does inside the block to
-        ``label``. Nesting attributes costs to *both* labels."""
-        snapshot = client.metrics.snapshot()
-        start_ns = client.clock.now_ns
+        ``label``. Nesting attributes costs to *both* labels (span deltas
+        are inclusive)."""
+        tracer = client.tracer if client.tracer is not None else self.tracer
+        span: Optional["Span"] = None
         try:
-            yield
+            with tracer.span(client, label) as span:
+                yield
         finally:
-            delta = client.metrics.delta(snapshot)
-            row = self.rows.setdefault(label, ProfileRow(label=label))
-            row.count += 1
-            row.far_accesses += delta.far_accesses
-            row.round_trips += delta.round_trips
-            row.near_accesses += delta.near_accesses
-            row.bytes_read += delta.bytes_read
-            row.bytes_written += delta.bytes_written
-            row.notifications += delta.notifications_received
-            row.time_ns += client.clock.now_ns - start_ns
+            if span is not None:
+                self._absorb(span)
 
     def row(self, label: str) -> ProfileRow:
         """The accumulated row for ``label`` (empty row if never measured)."""
@@ -88,13 +137,14 @@ class Profiler:
         """A fixed-width text table, sorted by total simulated time."""
         header = (
             f"{'label':<24} {'count':>7} {'far/op':>8} {'ns/op':>10} "
-            f"{'B read':>10} {'B written':>10} {'notifs':>7}"
+            f"{'B read':>10} {'B written':>10} {'notifs':>7} {'overlap':>8}"
         )
         lines = [header, "-" * len(header)]
         for row in sorted(self.rows.values(), key=lambda r: -r.time_ns):
             lines.append(
                 f"{row.label:<24} {row.count:>7} {row.far_per_op():>8.2f} "
                 f"{row.ns_per_op():>10.1f} {row.bytes_read:>10} "
-                f"{row.bytes_written:>10} {row.notifications:>7}"
+                f"{row.bytes_written:>10} {row.notifications:>7} "
+                f"{row.overlap_efficiency():>8.2f}"
             )
         return "\n".join(lines)

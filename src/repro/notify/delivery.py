@@ -109,6 +109,25 @@ class DeliveryEngine:
             self._state[sub.sub_id] = state
         return state
 
+    def _trace(
+        self,
+        sub: Subscription,
+        outcome: str,
+        coalesced: int = 1,
+        loss_warning: bool = False,
+    ) -> None:
+        # Observability only: report the delivery outcome to the
+        # subscriber's tracer, when the subscriber is a traced client.
+        tracer = getattr(sub.subscriber, "tracer", None)
+        if tracer is not None:
+            tracer.on_notification(
+                sub.subscriber,
+                outcome=outcome,
+                sub_id=sub.sub_id,
+                coalesced=coalesced,
+                loss_warning=loss_warning,
+            )
+
     def offer(self, sub: Subscription, notification: Notification) -> bool:
         """Run one matching event through the policy.
 
@@ -123,6 +142,7 @@ class DeliveryEngine:
         state.since_delivery += 1
         if state.since_delivery < policy.coalesce_every:
             self.stats.coalesced_away += 1
+            self._trace(sub, "coalesced")
             return False
         notification.coalesced_count = state.since_delivery
         state.since_delivery = 0
@@ -131,6 +151,7 @@ class DeliveryEngine:
         if policy.drop_probability > 0.0 and self._rng.random() < policy.drop_probability:
             self.stats.dropped_random += 1
             state.lost_events += notification.coalesced_count
+            self._trace(sub, "dropped_random", notification.coalesced_count)
             return False
 
         # Spike suppression: no tokens means the whole period is dropped.
@@ -138,6 +159,7 @@ class DeliveryEngine:
             if state.tokens <= 0:
                 self.stats.dropped_bucket += 1
                 state.lost_events += notification.coalesced_count
+                self._trace(sub, "dropped_bucket", notification.coalesced_count)
                 return False
             state.tokens -= 1
 
@@ -151,6 +173,12 @@ class DeliveryEngine:
 
         sub.subscriber.deliver(notification)
         self.stats.delivered += 1
+        self._trace(
+            sub,
+            "delivered",
+            notification.coalesced_count,
+            notification.is_loss_warning,
+        )
         return True
 
     def tick(self) -> None:

@@ -1,0 +1,66 @@
+"""Observability for the far-memory fabric: causal tracing, latency
+histograms over the simulated clock, and trace exporters.
+
+The tracer is strictly an observer — attaching one changes no metric
+counter and no simulated timestamp (see :mod:`repro.obs.trace` for the
+invariants). Typical use::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    with tracer.span(client, "httree.get", key=k):
+        tree.get(client, k)
+    tracer.finish()
+    print(tracer.summary())
+"""
+
+from .export import (
+    assert_valid_chrome_trace,
+    chrome_trace,
+    iter_jsonl_records,
+    load_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .histogram import HistogramSet, LatencyHistogram
+from .trace import (
+    BACKOFF,
+    BREAKER_REJECT,
+    BREAKER_TRIP,
+    EVENT_KINDS,
+    FAR_ACCESS,
+    NOTIFY,
+    STALL,
+    TIMEOUT,
+    WINDOW,
+    Span,
+    TraceEvent,
+    Tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "BACKOFF",
+    "BREAKER_REJECT",
+    "BREAKER_TRIP",
+    "EVENT_KINDS",
+    "FAR_ACCESS",
+    "NOTIFY",
+    "STALL",
+    "TIMEOUT",
+    "WINDOW",
+    "HistogramSet",
+    "LatencyHistogram",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "assert_valid_chrome_trace",
+    "chrome_trace",
+    "iter_jsonl_records",
+    "load_chrome_trace",
+    "set_default_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

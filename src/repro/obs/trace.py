@@ -1,0 +1,525 @@
+"""Causal tracing over the exact metrics and the simulated clock.
+
+The :class:`~repro.fabric.metrics.Metrics` counters say *how much* a
+client spent; the :class:`~repro.fabric.profile.Profiler` ledger says on
+*which label*. This module adds the remaining dimensions the paper's cost
+arguments (sections 3.1, 4, 7) need per logical operation: **when**
+(simulated start/end timestamps), **why it was slow** (retry ladders,
+breaker events, window stalls as typed events), and **causality** (data
+structure op → individual far accesses → pipeline window membership →
+notification deliveries, as a parent/child span tree).
+
+Design rules — these are what keep tracing free of observer effects:
+
+* A :class:`Tracer` never touches a client's metrics or clock. Every hook
+  is bookkeeping only, so every structural count (``far_accesses``,
+  ``round_trips``, ``network_traversals``) and every simulated timestamp
+  is bit-identical with tracing on or off.
+* Every far access emits exactly one ``far_access`` event, attributed to
+  the innermost open span (or the client's implicit root span). Summing
+  per-span far-access attributions therefore reproduces the client's
+  total with nothing lost or double-counted.
+* Spans per client follow stack discipline on that client's monotone
+  clock, so the begin/end boundary log exports directly as a valid
+  Chrome trace (every ``B`` has an ``E``, timestamps monotone per lane).
+
+Usage::
+
+    tracer = Tracer()
+    tracer.attach(client)                 # or let the first span attach
+    with client.trace("httree.get", key=k):
+        tree.get(client, k)
+    tracer.finish()
+    print(tracer.span_hist.render())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from .histogram import HistogramSet, LatencyHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..fabric.client import Client
+
+# Event kinds emitted by the fabric / notify hooks.
+FAR_ACCESS = "far_access"
+WINDOW = "window"
+STALL = "stall"
+TIMEOUT = "timeout"
+BACKOFF = "backoff"
+BREAKER_TRIP = "breaker_trip"
+BREAKER_REJECT = "breaker_reject"
+NOTIFY = "notify"
+
+EVENT_KINDS = (
+    FAR_ACCESS,
+    WINDOW,
+    STALL,
+    TIMEOUT,
+    BACKOFF,
+    BREAKER_TRIP,
+    BREAKER_REJECT,
+    NOTIFY,
+)
+
+
+@dataclass
+class TraceEvent:
+    """One typed fabric event, attributed to a span."""
+
+    kind: str
+    ts_ns: float
+    client: str
+    span_id: Optional[int]
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "event",
+            "kind": self.kind,
+            "ts_ns": self.ts_ns,
+            "client": self.client,
+            "span_id": self.span_id,
+            **self.data,
+        }
+
+
+class Span:
+    """One logical operation: a metrics delta with timestamps and lineage."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "client_id",
+        "client_name",
+        "label",
+        "tags",
+        "start_ns",
+        "end_ns",
+        "is_root",
+        "far_accesses",
+        "event_count",
+        "child_count",
+        "delta",
+        "_start_snapshot",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        client: "Client",
+        label: str,
+        tags: dict[str, Any],
+        *,
+        is_root: bool = False,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.client_id = client.client_id
+        self.client_name = client.name
+        self.label = label
+        self.tags = tags
+        self.start_ns: float = client.clock.now_ns
+        self.end_ns: Optional[float] = None
+        self.is_root = is_root
+        # Far accesses attributed directly to this span (not to children):
+        # summing this over every span reproduces the client total exactly.
+        self.far_accesses = 0
+        self.event_count = 0
+        self.child_count = 0
+        # Inclusive Metrics delta over the span's lifetime (children count
+        # toward their ancestors too — the Profiler's nesting semantics).
+        self.delta = None
+        self._start_snapshot = client.metrics.snapshot()
+
+    def _close(self, client: "Client") -> None:
+        self.end_ns = client.clock.now_ns
+        self.delta = client.metrics.delta(self._start_snapshot)
+        self._start_snapshot = None
+
+    @property
+    def open(self) -> bool:
+        return self.end_ns is None
+
+    @property
+    def duration_ns(self) -> float:
+        if self.end_ns is None:
+            return 0.0
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "client": self.client_name,
+            "label": self.label,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "far_accesses": self.far_accesses,
+            "events": self.event_count,
+            "children": self.child_count,
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.delta is not None:
+            out["delta"] = {k: v for k, v in self.delta.as_dict().items() if v}
+        return out
+
+    def __repr__(self) -> str:
+        state = "open" if self.open else f"{self.duration_ns:.0f}ns"
+        return (
+            f"Span(#{self.span_id} {self.label!r} client={self.client_name} "
+            f"far={self.far_accesses} {state})"
+        )
+
+
+class Tracer:
+    """Collects spans, typed events, and latency histograms from clients.
+
+    One tracer may observe many clients; each attached client gets an
+    implicit root span so that work outside any explicit ``client.trace``
+    scope is still attributed (never lost). Call :meth:`finish` (or
+    :meth:`detach` per client) to close root spans before exporting.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []  # closed spans, in close order
+        self.events: list[TraceEvent] = []  # global emission-ordered stream
+        self.span_hist = HistogramSet()  # span duration per label
+        self.op_hist = HistogramSet()  # far-access charge per fabric op
+        self.node_hist = HistogramSet()  # far-access charge per memory node
+        self.window_hist = LatencyHistogram()  # charged ns per window flush
+        self._stacks: dict[int, list[Span]] = {}  # client_id -> open spans
+        self._clients: dict[int, "Client"] = {}
+        # Span boundary log, append-only and LIFO-correct by construction:
+        # this is what the Chrome exporter walks to emit B/E pairs.
+        self._span_log: list[tuple[str, float, Span]] = []
+        self._next_span_id = 1
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, client: "Client") -> "Tracer":
+        """Start observing ``client`` (idempotent). A client can feed at
+        most one tracer; attach replaces nothing silently."""
+        if client._tracer is self:
+            return self
+        if client._tracer is not None:
+            raise RuntimeError(
+                f"{client.name} is already attached to another tracer; "
+                "detach it first"
+            )
+        client._tracer = self
+        self._clients[client.client_id] = client
+        self._open_span(client, f"client:{client.name}", {}, is_root=True)
+        return self
+
+    def detach(self, client: "Client") -> None:
+        """Stop observing ``client``: close its open spans (root last)."""
+        if client._tracer is not self:
+            return
+        stack = self._stacks.get(client.client_id, [])
+        while stack:
+            self._close_span(client, stack[-1])
+        client._tracer = None
+
+    def finish(self) -> "Tracer":
+        """Detach every observed client, closing all root spans."""
+        for client in list(self._clients.values()):
+            self.detach(client)
+        return self
+
+    def attached(self, client: "Client") -> bool:
+        return client._tracer is self
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def _open_span(
+        self,
+        client: "Client",
+        label: str,
+        tags: dict[str, Any],
+        *,
+        is_root: bool = False,
+    ) -> Span:
+        stack = self._stacks.setdefault(client.client_id, [])
+        parent = stack[-1] if stack else None
+        span = Span(
+            self._next_span_id,
+            parent.span_id if parent is not None else None,
+            client,
+            label,
+            tags,
+            is_root=is_root,
+        )
+        self._next_span_id += 1
+        if parent is not None:
+            parent.child_count += 1
+        stack.append(span)
+        self._span_log.append(("B", span.start_ns, span))
+        return span
+
+    def _close_span(self, client: "Client", span: Span) -> None:
+        stack = self._stacks[client.client_id]
+        # Defensive: close leaked children first so the log stays LIFO.
+        while stack and stack[-1] is not span:
+            self._close_span(client, stack[-1])
+        if not stack:
+            return
+        stack.pop()
+        span._close(client)
+        self._span_log.append(("E", span.end_ns, span))
+        self.spans.append(span)
+        if not span.is_root:
+            self.span_hist.record(span.label, span.duration_ns)
+
+    @contextmanager
+    def span(self, client: "Client", label: str, **tags: Any) -> Iterator[Span]:
+        """Open a span attributing everything ``client`` does inside the
+        block to ``label``. Auto-attaches the client on first use."""
+        if client._tracer is None:
+            self.attach(client)
+        elif client._tracer is not self:
+            raise RuntimeError(
+                f"{client.name} is attached to another tracer; "
+                "open the span through that tracer"
+            )
+        span = self._open_span(client, label, tags)
+        try:
+            yield span
+        finally:
+            self._close_span(client, span)
+
+    def _current(self, client: "Client") -> Span:
+        return self._stacks[client.client_id][-1]
+
+    def current_span(self, client: "Client") -> Optional[Span]:
+        """The innermost open span for ``client`` (its root if no
+        explicit span is open; None if not attached)."""
+        stack = self._stacks.get(client.client_id)
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Fabric hooks (called by Client / DeliveryEngine; bookkeeping only)
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self, client: "Client", kind: str, data: dict[str, Any]
+    ) -> TraceEvent:
+        span = self._current(client)
+        event = TraceEvent(kind, client.clock.now_ns, client.name, span.span_id, data)
+        span.event_count += 1
+        self.events.append(event)
+        return event
+
+    def on_far_access(
+        self,
+        client: "Client",
+        *,
+        op: Optional[str],
+        charge_ns: float,
+        node: Optional[int],
+        nbytes_read: int,
+        nbytes_written: int,
+        forward_hops: int,
+        segments: int,
+        atomic: bool,
+    ) -> None:
+        span = self._current(client)
+        span.far_accesses += 1
+        data: dict[str, Any] = {"op": op or "external", "charge_ns": charge_ns}
+        if node is not None:
+            data["node"] = node
+        if nbytes_read:
+            data["nbytes_read"] = nbytes_read
+        if nbytes_written:
+            data["nbytes_written"] = nbytes_written
+        if forward_hops:
+            data["forward_hops"] = forward_hops
+        if segments > 1:
+            data["segments"] = segments
+        if atomic:
+            data["atomic"] = True
+        self._emit(client, FAR_ACCESS, data)
+        self.op_hist.record(op or "external", charge_ns)
+        self.node_hist.record(
+            f"node{node}" if node is not None else "node?", charge_ns
+        )
+
+    def on_window(
+        self,
+        client: "Client",
+        *,
+        start_ns: float,
+        charged_ns: float,
+        serial_ns: float,
+        saved_ns: float,
+        reason: str,
+        ops: list[tuple[str, float, Optional[int]]],
+        n_charges: int,
+    ) -> None:
+        self._emit(
+            client,
+            WINDOW,
+            {
+                "start_ns": start_ns,
+                "charged_ns": charged_ns,
+                "serial_ns": serial_ns,
+                "saved_ns": saved_ns,
+                "reason": reason,
+                "n": n_charges,
+                "ops": [
+                    {"op": op, "charge_ns": charge, "span_id": span_id}
+                    for op, charge, span_id in ops
+                ],
+            },
+        )
+        self.window_hist.record(charged_ns)
+
+    def on_stall(self, client: "Client") -> None:
+        self._emit(client, STALL, {"qp_depth": client.qp_depth})
+
+    def on_timeout(
+        self, client: "Client", *, op: Optional[str], node: int, attempt: int
+    ) -> None:
+        self._emit(
+            client, TIMEOUT, {"op": op or "external", "node": node, "attempt": attempt}
+        )
+
+    def on_backoff(
+        self,
+        client: "Client",
+        *,
+        op: Optional[str],
+        node: int,
+        attempt: int,
+        backoff_ns: float,
+    ) -> None:
+        self._emit(
+            client,
+            BACKOFF,
+            {
+                "op": op or "external",
+                "node": node,
+                "attempt": attempt,
+                "backoff_ns": backoff_ns,
+            },
+        )
+
+    def on_breaker_trip(self, client: "Client", *, node: int) -> None:
+        self._emit(client, BREAKER_TRIP, {"node": node})
+
+    def on_breaker_reject(self, client: "Client", *, node: int) -> None:
+        self._emit(client, BREAKER_REJECT, {"node": node})
+
+    def on_notification(
+        self,
+        client: "Client",
+        *,
+        outcome: str,
+        sub_id: int,
+        coalesced: int,
+        loss_warning: bool,
+    ) -> None:
+        data: dict[str, Any] = {"outcome": outcome, "sub_id": sub_id}
+        if coalesced > 1:
+            data["coalesced"] = coalesced
+        if loss_warning:
+            data["loss_warning"] = True
+        self._emit(client, NOTIFY, data)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def all_spans(self) -> list[Span]:
+        """Closed spans plus still-open ones (roots included)."""
+        out = list(self.spans)
+        for stack in self._stacks.values():
+            out.extend(stack)
+        return out
+
+    def attributed_far_accesses(self) -> int:
+        """Sum of per-span far-access attributions. Equals the sum of the
+        observed clients' ``metrics.far_accesses`` accumulated while
+        attached — the no-lost-no-double-counted invariant."""
+        return sum(span.far_accesses for span in self.all_spans())
+
+    def spans_by_label(self, label: str) -> list[Span]:
+        return [span for span in self.all_spans() if span.label == label]
+
+    def events_by_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def span_events(self, span: Span) -> list[TraceEvent]:
+        """Events attributed directly to ``span`` (not to its children)."""
+        return [event for event in self.events if event.span_id == span.span_id]
+
+    def summary(self, max_rows: int = 12) -> str:
+        """A one-screen text summary: per-label span table + event counts."""
+        lines = []
+        labels = self.span_hist.labels()
+        if labels:
+            header = (
+                f"{'span label':<26} {'count':>6} {'far':>7} {'p50 ns':>10} "
+                f"{'p99 ns':>10} {'total us':>10}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            per_label: dict[str, tuple[int, int, float]] = {}
+            for span in self.spans:
+                if span.is_root:
+                    continue
+                count, far, total = per_label.get(span.label, (0, 0, 0.0))
+                per_label[span.label] = (
+                    count + 1,
+                    far + (span.delta.far_accesses if span.delta else 0),
+                    total + span.duration_ns,
+                )
+            ranked = sorted(per_label.items(), key=lambda kv: -kv[1][2])
+            for label, (count, far, total) in ranked[:max_rows]:
+                hist = self.span_hist.get(label)
+                lines.append(
+                    f"{label:<26} {count:>6} {far:>7} {hist.p50:>10.0f} "
+                    f"{hist.p99:>10.0f} {total / 1_000:>10.1f}"
+                )
+            if len(ranked) > max_rows:
+                lines.append(f"... and {len(ranked) - max_rows} more labels")
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        if counts:
+            lines.append(
+                "events: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            )
+        if not lines:
+            return "(empty trace)"
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(spans={len(self.spans)}, events={len(self.events)}, "
+            f"clients={len(self._clients)})"
+        )
+
+
+def set_default_tracer(tracer: Optional[Tracer]) -> None:
+    """Install (or clear) a tracer that every subsequently-created client
+    auto-attaches to. This is how ``python -m repro trace`` observes
+    example scripts without modifying them."""
+    from ..fabric import client as client_module
+
+    if tracer is None:
+        client_module._default_tracer_provider = None
+    else:
+        client_module._default_tracer_provider = lambda: tracer

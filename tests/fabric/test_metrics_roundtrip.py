@@ -1,0 +1,112 @@
+"""Property tests for the Metrics snapshot/delta/merge algebra.
+
+Every ledger in the repo — profiler rows, tracer span deltas, benchmark
+tables — is built on ``snapshot()``/``delta()``; these tests pin the
+algebra down for *every* counter via ``_INT_FIELDS`` introspection, so a
+newly added counter is covered automatically (and the import-time guard
+in metrics.py means it cannot be added without joining ``_INT_FIELDS``).
+"""
+
+from collections import Counter
+from dataclasses import fields
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.metrics import Metrics, aggregate
+
+counter_values = st.fixed_dictionaries(
+    {},
+    optional={
+        name: st.integers(0, 1 << 20) for name in Metrics._INT_FIELDS
+    },
+)
+custom_values = st.dictionaries(
+    st.sampled_from(["slow_path", "cache_miss", "refresh", "split"]),
+    st.integers(-8, 8),
+    max_size=4,
+)
+
+
+def _make(values, custom=None):
+    metrics = Metrics(**values)
+    if custom:
+        metrics.custom.update(custom)
+    return metrics
+
+
+def test_int_fields_match_dataclass():
+    # The introspection contract: _INT_FIELDS is exactly the dataclass
+    # fields minus the custom Counter (also asserted at import time).
+    assert set(Metrics._INT_FIELDS) == {
+        f.name for f in fields(Metrics) if f.name != "custom"
+    }
+    assert len(Metrics._INT_FIELDS) == len(set(Metrics._INT_FIELDS))
+
+
+@given(counter_values, custom_values)
+@settings(max_examples=50, deadline=None)
+def test_snapshot_is_frozen_and_self_delta_is_zero(values, custom):
+    metrics = _make(values, custom)
+    snapshot = metrics.snapshot()
+    # A snapshot equals its source at snapshot time...
+    assert snapshot.as_dict() == metrics.as_dict()
+    # ...and the delta against itself is identically zero.
+    zero = metrics.delta(snapshot)
+    assert all(getattr(zero, name) == 0 for name in Metrics._INT_FIELDS)
+    assert zero.custom == Counter()
+    # Mutating the source never leaks into the snapshot (deep custom copy).
+    metrics.far_accesses += 1
+    metrics.bump("slow_path")
+    assert snapshot.far_accesses == values.get("far_accesses", 0)
+    assert snapshot.custom.get("slow_path", 0) == custom.get("slow_path", 0)
+
+
+@given(counter_values, counter_values, custom_values)
+@settings(max_examples=50, deadline=None)
+def test_delta_roundtrips_every_counter(start, increments, custom_incr):
+    metrics = _make(start)
+    snapshot = metrics.snapshot()
+    for name, amount in increments.items():
+        setattr(metrics, name, getattr(metrics, name) + amount)
+    for key, amount in custom_incr.items():
+        metrics.bump(key, amount)
+    delta = metrics.delta(snapshot)
+    for name in Metrics._INT_FIELDS:
+        assert getattr(delta, name) == increments.get(name, 0)
+    # Custom counters delta too, with zero entries suppressed (negative
+    # adjustments survive — suppression is exactly-zero only).
+    assert delta.custom == Counter(
+        {k: v for k, v in custom_incr.items() if v != 0}
+    )
+
+
+@given(counter_values, counter_values, custom_values, custom_values)
+@settings(max_examples=50, deadline=None)
+def test_merge_and_aggregate_agree(a_values, b_values, a_custom, b_custom):
+    a = _make(a_values, a_custom)
+    b = _make(b_values, b_custom)
+    total = aggregate([a, b])
+    merged = a.snapshot()
+    merged.merge(b)
+    assert total.as_dict() == merged.as_dict()
+    for name in Metrics._INT_FIELDS:
+        assert getattr(total, name) == a_values.get(name, 0) + b_values.get(
+            name, 0
+        )
+    # Sources are untouched.
+    assert a.as_dict() == _make(a_values, a_custom).as_dict()
+    assert b.as_dict() == _make(b_values, b_custom).as_dict()
+
+
+@given(counter_values, custom_values)
+@settings(max_examples=50, deadline=None)
+def test_reset_and_as_dict(values, custom):
+    metrics = _make(values, custom)
+    flat = metrics.as_dict()
+    assert set(Metrics._INT_FIELDS) <= set(flat)
+    for key, value in custom.items():
+        assert flat[f"custom.{key}"] == value
+    metrics.reset()
+    assert all(getattr(metrics, name) == 0 for name in Metrics._INT_FIELDS)
+    assert metrics.custom == Counter()

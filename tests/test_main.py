@@ -1,0 +1,60 @@
+"""Smoke tests for the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_prints_profile_and_trace_summary(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "far accesses" in out
+    assert "trace summary" in out
+    assert "far-access latency by fabric op" in out
+    # The demo's label table and the histogram table both rendered.
+    assert "ht-tree put x100" in out
+    assert "p50 ns" in out
+
+
+def test_trace_subcommand_exports_and_validates(tmp_path, capsys):
+    assert main(["trace", "quickstart", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "passed schema validation" in out
+
+    jsonl_path = tmp_path / "quickstart.trace.jsonl"
+    chrome_path = tmp_path / "quickstart.trace.json"
+    assert jsonl_path.is_file() and chrome_path.is_file()
+
+    lines = jsonl_path.read_text().splitlines()
+    meta = json.loads(lines[0])
+    assert meta["schema"] == "repro-trace-v1"
+    assert meta["spans"] + meta["events"] + 1 == len(lines)
+
+    document = json.loads(chrome_path.read_text())
+    assert document["traceEvents"]
+
+    # The validate subcommand accepts its own export.
+    assert main(["validate", str(chrome_path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_validate_rejects_tampered_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.trace.json"
+    bad.write_text(
+        json.dumps(
+            {
+                "traceEvents": [
+                    {"ph": "B", "name": "x", "pid": 1, "tid": 0, "ts": 0}
+                ]
+            }
+        )
+    )
+    assert main(["validate", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_trace_unknown_target_is_an_error():
+    with pytest.raises(SystemExit, match="cannot find"):
+        main(["trace", "no-such-example"])
