@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""A seeded data race: the lost update (what the race detector exists for).
+
+One-sided far memory has no cache-coherent atomicity for free: if two
+clients each do a plain read-modify-write on the same word, the writes
+are individually fine and the result is still wrong — the second write
+silently swallows the first increment. The fabric executes every request
+faithfully; the bug is the *missing synchronization between clients*,
+which no single client's metrics can show.
+
+This example runs the racy pattern on purpose (two clients, plain
+``read_u64``/``write_u64`` RMW on a shared word), then the correct
+version (one ``faa`` per increment). Trace it and run the detector::
+
+    python -m repro trace lost_update
+    python -m repro races traces/lost_update.trace.jsonl
+
+The detector flags the plain RMW as unsynchronized write-write and
+read-write conflicts, and reports the ``faa`` half race-free.
+
+Run:  python examples/lost_update.py
+"""
+
+from repro import Cluster
+
+WORD = 8
+
+
+def main() -> None:
+    cluster = Cluster(node_count=1, node_size=8 << 20)
+    alice = cluster.client("alice")
+    bob = cluster.client("bob")
+
+    shared = cluster.allocator.alloc(WORD)
+    racy = cluster.allocator.alloc(WORD)
+
+    # -- the racy version: read, add near memory, write back ------------
+    # The interleaving below is the textbook lost update: both clients
+    # read 0, both write 1, one increment vanishes.
+    alice_saw = alice.read_u64(racy)
+    bob_saw = bob.read_u64(racy)
+    alice.write_u64(racy, alice_saw + 1)
+    bob.write_u64(racy, bob_saw + 1)
+    final = alice.read_u64(racy)
+    print(f"plain RMW:  2 increments, counter reads {final}  (lost update!)")
+
+    # -- the correct version: one atomic fetch-and-add per increment ----
+    alice.faa(shared, 1)
+    bob.faa(shared, 1)
+    final = bob.read_u64(shared)
+    print(f"atomic faa: 2 increments, counter reads {final}")
+
+    print(
+        f"\nalice: {alice.metrics.far_accesses} far accesses, "
+        f"bob: {bob.metrics.far_accesses}"
+    )
+    print(
+        "the racy half is invisible to metrics; "
+        "run `python -m repro races` on a trace to catch it"
+    )
+
+
+if __name__ == "__main__":
+    main()

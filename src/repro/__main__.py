@@ -9,6 +9,13 @@
   ``chrome://tracing`` or https://ui.perfetto.dev).
 * ``python -m repro validate <trace.json>`` — check an exported Chrome
   trace against the minimal schema (B/E balance, monotone timestamps).
+* ``python -m repro lint [paths...]`` — run the far-memory static linter
+  (:mod:`repro.analysis.fmlint`) over source trees; nonzero on findings.
+* ``python -m repro sanitize <example>`` — run an example with the
+  budget sanitizer active and print the per-op far-access budget table;
+  nonzero on any declared-ceiling violation.
+* ``python -m repro races <trace.jsonl>`` — happens-before race
+  detection over an exported JSONL trace; nonzero on plain-access races.
 """
 
 from __future__ import annotations
@@ -137,6 +144,49 @@ def _trace(target: str, out_dir: str) -> int:
     return 0
 
 
+def _lint(paths: Sequence[str], list_rules: bool) -> int:
+    from repro.analysis.fmlint import RULES, lint_paths, render_rules
+
+    if list_rules:
+        print(render_rules())
+        return 0
+    findings = lint_paths(list(paths) or ["src", "examples"])
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        by_code: dict[str, int] = {}
+        for finding in findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        tally = ", ".join(
+            f"{count}x {code} {RULES[code].name}"
+            for code, count in sorted(by_code.items())
+        )
+        print(f"fmlint: {len(findings)} finding(s): {tally}")
+        return 1
+    print("fmlint: clean")
+    return 0
+
+
+def _sanitize(target: str, strict: bool) -> int:
+    from repro.analysis.budget import BudgetSanitizer
+
+    path = _resolve_target(target)
+    sanitizer = BudgetSanitizer(strict=strict)
+    with sanitizer:
+        runpy.run_path(path, run_name="__main__")
+    print(f"\n-- far-access budgets over {path} --")
+    print(sanitizer.report())
+    return 1 if sanitizer.violations else 0
+
+
+def _races(path: str) -> int:
+    from repro.analysis.races import detect_races_in_file
+
+    report = detect_races_in_file(path)
+    print(report.format())
+    return 1 if report.errors else 0
+
+
 def _validate(path: str) -> int:
     problems = validate_chrome_trace(load_chrome_trace(path))
     if problems:
@@ -167,12 +217,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate", help="schema-check an exported Chrome trace JSON"
     )
     validate_parser.add_argument("trace_json", help="path to a .trace.json file")
+    lint_parser = sub.add_parser(
+        "lint", help="far-memory static linter (nonzero exit on findings)"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", help="files or directories (default: src examples)"
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    sanitize_parser = sub.add_parser(
+        "sanitize",
+        help="run an example under the @far_budget sanitizer",
+    )
+    sanitize_parser.add_argument(
+        "target", help="example name (e.g. quickstart) or script path"
+    )
+    sanitize_parser.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="record ceiling violations instead of raising at the call site",
+    )
+    races_parser = sub.add_parser(
+        "races",
+        help="happens-before race detection over a .trace.jsonl export",
+    )
+    races_parser.add_argument("trace_jsonl", help="path to a .trace.jsonl file")
 
     args = parser.parse_args(argv)
     if args.command == "trace":
         return _trace(args.target, args.out)
     if args.command == "validate":
         return _validate(args.trace_json)
+    if args.command == "lint":
+        return _lint(args.paths, args.list_rules)
+    if args.command == "sanitize":
+        return _sanitize(args.target, strict=not args.no_strict)
+    if args.command == "races":
+        return _races(args.trace_jsonl)
     return _demo()
 
 

@@ -1,0 +1,29 @@
+"""Static and dynamic analysis for the far-memory reproduction.
+
+Three cooperating passes turn the paper's access-count contracts into
+machine-checked invariants:
+
+* :mod:`repro.analysis.fmlint` — a static AST linter for far-memory
+  anti-patterns (``python -m repro lint``).
+* :mod:`repro.analysis.budget` — ``@far_budget`` declarations plus a
+  runtime sanitizer asserting per-op far-access budgets
+  (``python -m repro sanitize``).
+* :mod:`repro.analysis.races` — an offline happens-before race detector
+  over exported ``repro-trace-v1`` traces (``python -m repro races``).
+"""
+
+from repro.analysis.fmlint import (
+    Finding,
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

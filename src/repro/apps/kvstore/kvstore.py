@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ...alloc.epoch import EpochReclaimer
+from ...analysis.budget import far_budget
 from ...cluster import Cluster
 from ...core.blob import FarBlobStore
 from ...core.counter import FarCounter
@@ -134,6 +135,7 @@ class FarKVStore:
         key = raw[WORD : WORD + key_len].decode("utf-8")
         return key, raw[WORD + key_len :]
 
+    @far_budget(None, claim="C4")
     def put(self, client: Client, key: str, value: bytes) -> None:
         """Store ``value`` under ``key``."""
         with self.profiler.measure(client, "put"):
@@ -148,6 +150,7 @@ class FarKVStore:
             self.blobs.put(client, index_key, self._pack(key, value))
             self.ops_counter.increment(client)
 
+    @far_budget(2, claim="C4")
     def get(self, client: Client, key: str) -> Optional[bytes]:
         """Fetch the value for ``key``, or None."""
         with self.profiler.measure(client, "get"):
@@ -161,6 +164,7 @@ class FarKVStore:
                 )
             return value
 
+    @far_budget(None, claim="C4")
     def delete(self, client: Client, key: str) -> bool:
         """Remove ``key``; True if it existed."""
         with self.profiler.measure(client, "delete"):
@@ -178,6 +182,7 @@ class FarKVStore:
                 self.ops_counter.increment(client)
             return removed
 
+    @far_budget(2, per_item=True, claim="C4")
     def multiget(
         self, client: Client, keys: "list[str]"
     ) -> "list[Optional[bytes]]":
@@ -199,6 +204,7 @@ class FarKVStore:
                 out.append(value)
             return out
 
+    @far_budget(None, claim="C4")
     def multiput(self, client: Client, items: "dict[str, bytes]") -> None:
         """Store many pairs: collision checks, blob writes (one shared
         fence), and index upserts each run as one pipelined stage; the
@@ -224,10 +230,12 @@ class FarKVStore:
             if pairs:
                 self.ops_counter.add(client, len(pairs))
 
+    @far_budget(1, claim="C4")
     def contains(self, client: Client, key: str) -> bool:
         """Membership test (one index lookup)."""
         return self.index.get(client, name_hash(key)) is not None
 
+    @far_budget(1, ceiling=1)
     def total_operations(self, client: Client) -> int:
         """Mutations applied store-wide, by any client (one far access)."""
         return self.ops_counter.read(client)

@@ -44,10 +44,12 @@ class WindowedHistogramRing:
         if window_count < 2:
             raise ValueError("a ring needs at least two windows")
         histogram = FarHistogram.create(allocator, bins, hint=hint)
+        # fmlint: disable=FM003 (setup introspection)
         first = allocator.fabric.read_word(histogram.vector.descriptor)
         storages = [first]
         for _ in range(window_count - 1):
             region = allocator.alloc(bins * WORD, hint)
+            # fmlint: disable=FM003 (pre-attach provisioning)
             allocator.fabric.write(region, b"\x00" * bins * WORD)
             storages.append(region)
         return cls(histogram=histogram, storages=storages, _bins=bins)

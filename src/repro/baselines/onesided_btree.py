@@ -98,6 +98,7 @@ class OneSidedBTree:
         tree = cls(allocator, descriptor, max_keys, cache_levels)
         root = tree._alloc_node()
         tree._write_raw(root, _BNode(is_leaf=True))
+        # fmlint: disable=FM003 (pre-attach provisioning)
         allocator.fabric.write_word(descriptor, root)
         return tree
 
@@ -133,6 +134,7 @@ class OneSidedBTree:
         return _BNode(is_leaf=is_leaf, keys=keys, values=values, children=children)
 
     def _write_raw(self, address: int, node: _BNode) -> None:
+        # fmlint: disable=FM003 (create()-only path)
         self.allocator.fabric.write(address, self._encode(node))
 
     # ------------------------------------------------------------------

@@ -62,6 +62,7 @@ class FarSkipList:
     ) -> "FarSkipList":
         """Allocate an empty list (head tower of null pointers)."""
         head = allocator.alloc(MAX_LEVEL * WORD, hint)
+        # fmlint: disable=FM003 (pre-attach provisioning)
         allocator.fabric.write(head, b"\x00" * MAX_LEVEL * WORD)
         return cls(allocator, head, seed=seed)
 
@@ -169,6 +170,7 @@ class FarSkipList:
                 if pred == 0
                 else pred + 3 * WORD + level * WORD
             )
+            # fmlint: disable=FM001 (bottom-up link order is load-bearing)
             client.write_u64(slot, node)
         self.stats.inserts += 1
         self._item_count += 1

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..alloc import FarAllocator, PlacementHint
+from ..analysis.budget import far_budget
 from ..fabric.client import Client
 from ..fabric.wire import WORD, to_signed
 
@@ -41,6 +42,7 @@ class FarCounter:
         structure.
         """
         address = allocator.alloc(WORD, hint)
+        # fmlint: disable=FM003 (pre-attach provisioning)
         allocator.fabric.write_word(address, initial)
         return cls(address=address)
 
@@ -49,18 +51,22 @@ class FarCounter:
         """Adopt an existing counter by address (e.g. from a registry)."""
         return cls(address=address)
 
+    @far_budget(1, ceiling=1, claim="C2")
     def read(self, client: Client) -> int:
         """Current value: one far access."""
         return client.read_u64(self.address)
 
+    @far_budget(1, ceiling=1, claim="C2")
     def read_signed(self, client: Client) -> int:
         """Current value reinterpreted as signed: one far access."""
         return to_signed(client.read_u64(self.address))
 
+    @far_budget(1, ceiling=1, claim="C2")
     def set(self, client: Client, value: int) -> None:
         """Overwrite the value: one far access (not atomic wrt add)."""
         client.write_u64(self.address, value)
 
+    @far_budget(1, ceiling=1, claim="C2")
     def add(self, client: Client, delta: int) -> int:
         """Atomically add ``delta``; returns the previous value.
 
@@ -69,14 +75,17 @@ class FarCounter:
         """
         return client.faa(self.address, delta)
 
+    @far_budget(1, ceiling=1, claim="C2")
     def increment(self, client: Client) -> int:
         """Atomically add 1; returns the previous value (one far access)."""
         return self.add(client, 1)
 
+    @far_budget(1, ceiling=1, claim="C2")
     def decrement(self, client: Client) -> int:
         """Atomically subtract 1; returns the previous value (one far access)."""
         return self.add(client, -1)
 
+    @far_budget(1, ceiling=1, claim="C2")
     def compare_and_set(self, client: Client, expected: int, new: int) -> bool:
         """Atomic CAS; True if the counter held ``expected`` (one far access)."""
         _, ok = client.cas(self.address, expected, new)

@@ -70,6 +70,7 @@ from typing import Optional
 
 from ..alloc import FarAllocator, PlacementHint, spread
 from ..alloc.epoch import EpochReclaimer
+from ..analysis.budget import far_budget
 from ..fabric.client import Client
 from ..fabric.errors import StaleCacheError
 from ..fabric.wire import U64_MASK, WORD, decode_u64, encode_u64
@@ -258,8 +259,8 @@ class HTTree:
         size = TABLE_HEADER_BYTES + self.bucket_count * WORD
         table = self.allocator.alloc(size, self._table_hint())
         fabric = self.allocator.fabric
-        fabric.write(table, b"\x00" * size)
-        fabric.write_word(table, version)
+        fabric.write(table, b"\x00" * size)  # fmlint: disable=FM003 (caller charges the access)
+        fabric.write_word(table, version)  # fmlint: disable=FM003 (caller charges the access)
         return table
 
     def _publish_tree(self, version: int, leaves: list[_Leaf]) -> None:
@@ -274,9 +275,9 @@ class HTTree:
         )
         region = self.allocator.alloc(max(len(blob), WORD))
         fabric = self.allocator.fabric
-        fabric.write(region, blob)
+        fabric.write(region, blob)  # fmlint: disable=FM003 (caller charges the access)
         header_blob = encode_u64(version) + encode_u64(len(leaves)) + encode_u64(region)
-        fabric.write(self.header, header_blob)
+        fabric.write(self.header, header_blob)  # fmlint: disable=FM003 (caller charges the access)
 
     # ------------------------------------------------------------------
     # Client tree cache
@@ -344,6 +345,7 @@ class HTTree:
     # Lookup
     # ------------------------------------------------------------------
 
+    @far_budget(1, claim="C4")
     def get(self, client: Client, key: int, *, _depth: int = 0) -> Optional[int]:
         """Look up ``key``: one far access on the fast path (fresh cache,
         chain length <= 1). Returns the value or None."""
@@ -381,6 +383,7 @@ class HTTree:
             self.stats.chain_hops += 1
             item = _Item.parse(client.read(item.next, ITEM_BYTES))
 
+    @far_budget(1, per_item=True, claim="C4")
     def multiget(
         self, client: Client, keys: "list[int]"
     ) -> "list[Optional[int]]":
@@ -466,6 +469,7 @@ class HTTree:
     # Store
     # ------------------------------------------------------------------
 
+    @far_budget(2, claim="C4")
     def put(self, client: Client, key: int, value: int, *, _depth: int = 0) -> None:
         """Insert or update ``key``: two far accesses to update an existing
         head-of-chain item; three to insert a new item (version-check read,
@@ -530,6 +534,7 @@ class HTTree:
         if chain_len + 1 > self.max_chain:
             self._split(client, leaf)
 
+    @far_budget(2, per_item=True, claim="C4")
     def multistore(
         self, client: Client, pairs: "list[tuple[int, int]]"
     ) -> None:
@@ -702,6 +707,7 @@ class HTTree:
     # Delete
     # ------------------------------------------------------------------
 
+    @far_budget(2, claim="C4")
     def delete(self, client: Client, key: int, *, _depth: int = 0) -> bool:
         """Remove ``key``; True if it was present. Two far accesses when
         the key is the chain head (read + CAS unlink)."""
@@ -757,6 +763,7 @@ class HTTree:
     # Range scan
     # ------------------------------------------------------------------
 
+    @far_budget(None, claim="C4")
     def scan(
         self, client: Client, low: int, high: int, *, _depth: int = 0
     ) -> list[tuple[int, int]]:
@@ -981,7 +988,7 @@ class HTTree:
     def leaf_count(self) -> int:
         """Current number of leaves (hash tables) in the published tree."""
         fabric = self.allocator.fabric
-        return fabric.read_word(self.header + WORD)
+        return fabric.read_word(self.header + WORD)  # fmlint: disable=FM003 (debug introspection)
 
     def __repr__(self) -> str:
         return (

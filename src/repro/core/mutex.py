@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..alloc import FarAllocator, PlacementHint
+from ..analysis.budget import far_budget
 from ..fabric.client import Client
 from ..fabric.errors import FabricError
 from ..fabric.wire import WORD
@@ -60,6 +61,7 @@ class FarMutex:
     ) -> "FarMutex":
         """Allocate an unlocked mutex."""
         address = allocator.alloc(WORD, hint)
+        # fmlint: disable=FM003 (pre-attach provisioning)
         allocator.fabric.write_word(address, UNLOCKED)
         return cls(address=address, manager=manager)
 
@@ -68,6 +70,7 @@ class FarMutex:
         # Nonzero, distinct per client, so ownership is checkable.
         return client.client_id + 1
 
+    @far_budget(1, ceiling=1, claim="C2")
     def try_acquire(self, client: Client) -> bool:
         """One CAS attempt (one far access); True on success."""
         _, ok = client.cas(self.address, UNLOCKED, self._owner_token(client))
@@ -77,6 +80,7 @@ class FarMutex:
             self.stats.cas_failures += 1
         return ok
 
+    @far_budget(1, claim="C2")
     def acquire_or_wait(self, client: Client) -> Optional[Subscription]:
         """Try once; on failure arm ``notifye(lock, 0)`` and return the
         subscription (the caller retries via :meth:`retry_on_free` when its
@@ -86,6 +90,7 @@ class FarMutex:
         self.stats.notify_waits += 1
         return self.manager.notifye(client, self.address, UNLOCKED)
 
+    @far_budget(1, claim="C2")
     def retry_on_free(self, client: Client, sub: Subscription) -> bool:
         """Called after a free notification: try the CAS again.
 
@@ -97,11 +102,13 @@ class FarMutex:
             return True
         return False
 
+    @far_budget(1, ceiling=1)
     def holder(self, client: Client) -> Optional[int]:
         """Client id of the current holder (one far access), or None."""
         word = client.read_u64(self.address)
         return None if word == UNLOCKED else word - 1
 
+    @far_budget(1, ceiling=1, claim="C2")
     def release(self, client: Client) -> None:
         """Write 0 (one far access); fires the waiters' ``notifye(0)``.
 

@@ -69,6 +69,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..alloc import FarAllocator, PlacementHint
+from ..analysis.budget import far_budget
 from ..fabric.client import Client
 from ..fabric.errors import FabricError, QueueEmpty, QueueFull
 from ..fabric.wire import WORD, decode_u64, encode_u64
@@ -184,9 +185,11 @@ class FarQueue:
             use_fsaai=use_fsaai,
         )
         fabric = allocator.fabric
+        # fmlint: disable=FM003 (pre-attach provisioning)
         fabric.write_word(queue.head_addr, queue.array_base)
+        # fmlint: disable=FM003 (pre-attach provisioning)
         fabric.write_word(queue.tail_addr, queue.array_base)
-        fabric.write(
+        fabric.write(  # fmlint: disable=FM003 (pre-attach provisioning)
             queue.array_base, encode_u64(EMPTY) * (capacity + queue.slack_slots)
         )
         return queue
@@ -255,6 +258,7 @@ class FarQueue:
     # Enqueue
     # ------------------------------------------------------------------
 
+    @far_budget(1, claim="C5")
     def enqueue(self, client: Client, value: int) -> None:
         """Add ``value``: one ``saai`` on the fast path.
 
@@ -301,6 +305,7 @@ class FarQueue:
         state.last_tail = wrapped + WORD
         self._repair_pointer(client, self.tail_addr)
 
+    @far_budget(1, per_item=True, claim="C5")
     def enqueue_many(self, client: Client, values: "list[int]") -> None:
         """Enqueue ``values`` with fast-path ``saai`` submissions
         overlapped, up to the client's QP depth per doorbell window.
@@ -374,6 +379,7 @@ class FarQueue:
     # Dequeue
     # ------------------------------------------------------------------
 
+    @far_budget(1, claim="C5")
     def dequeue(self, client: Client) -> int:
         """Remove and return the oldest item: one ``faai`` on the fast path.
 
@@ -421,6 +427,7 @@ class FarQueue:
         self._finish_dequeue(client, state, slot, fast=not wrapped_path)
         return value
 
+    @far_budget(1, claim="C5")
     def try_dequeue(self, client: Client) -> Optional[int]:
         """Like :meth:`dequeue` but returns None instead of raising."""
         try:
@@ -428,6 +435,7 @@ class FarQueue:
         except QueueEmpty:
             return None
 
+    @far_budget(None, claim="C5")
     def dequeue_many(self, client: Client, max_items: int) -> "list[int]":
         """Dequeue up to ``max_items`` items with fast-path submissions
         overlapped, up to the client's QP depth per doorbell window.
@@ -548,6 +556,7 @@ class FarQueue:
     # Background maintenance
     # ------------------------------------------------------------------
 
+    @far_budget(None, claim="C5")
     def flush_clears(self, client: Client) -> int:
         """Reset consumed slots to EMPTY: one ``wscatter`` for the whole
         batch (the amortised background cost of empty detection)."""
@@ -577,6 +586,7 @@ class FarQueue:
         (:class:`repro.recovery.QueueScrubber`)."""
         self._clients.pop(client_id, None)
 
+    @far_budget(1, ceiling=1)
     def size_estimate(self, client: Client) -> int:
         """Occupancy from a fresh pointer gather (one far access).
 

@@ -42,6 +42,7 @@ from typing import Optional
 import numpy as np
 
 from ..alloc import FarAllocator, PlacementHint
+from ..analysis.budget import far_budget
 from ..fabric.address import PAGE_SIZE
 from ..fabric.client import Client
 from ..fabric.errors import AddressError
@@ -128,6 +129,7 @@ class RefreshableVector:
             version_words = (length + group_size - 1) // group_size
         total = (version_words + length) * WORD
         base = allocator.alloc(total, hint)
+        # fmlint: disable=FM003 (pre-attach provisioning)
         allocator.fabric.write(base, b"\x00" * total)
         return cls(
             allocator,
@@ -167,6 +169,7 @@ class RefreshableVector:
     # Writer side
     # ------------------------------------------------------------------
 
+    @far_budget(1, ceiling=1, claim="C2")
     def set(self, client: Client, index: int, value: int) -> None:
         """Write one element and bump its (group or element) version in a
         single ``wscatter``: one far access for the writer.
@@ -187,6 +190,7 @@ class RefreshableVector:
                 encode_u64(value) + encode_u64(int(self._writer_versions[slot])),
             )
 
+    @far_budget(2, ceiling=2, claim="C2")
     def set_multi_writer(self, client: Client, index: int, value: int) -> None:
         """Writer path safe under concurrent writers: element write plus an
         atomic version bump (two far accesses)."""
@@ -195,6 +199,7 @@ class RefreshableVector:
         client.write_u64(self._element_address(index), value)
         client.faa(self._version_address(slot), 1)
 
+    @far_budget(1, ceiling=1, claim="C2")
     def set_many(self, client: Client, updates: dict[int, int]) -> None:
         """Write a batch of elements and their version bumps in one
         ``wscatter`` (one far access for any batch size)."""
@@ -234,6 +239,7 @@ class RefreshableVector:
             self._readers[client.client_id] = state
         return state
 
+    @far_budget(0, claim="C2")
     def get(self, client: Client, index: int) -> int:
         """Read from the client cache (near access; possibly stale — call
         :meth:`refresh` first for bounded staleness)."""
@@ -242,11 +248,13 @@ class RefreshableVector:
         client.touch_local()
         return int(state.data[index])
 
+    @far_budget(2, claim="C2")
     def get_fresh(self, client: Client, index: int) -> int:
         """Refresh, then read: the paper's freshness guarantee."""
         self.refresh(client)
         return self.get(client, index)
 
+    @far_budget(0)
     def snapshot(self, client: Client) -> np.ndarray:
         """A copy of the client's cached view (near accesses)."""
         state = self._reader(client)
@@ -255,6 +263,7 @@ class RefreshableVector:
 
     # -- refresh ---------------------------------------------------------
 
+    @far_budget(2, claim="C2")
     def refresh(self, client: Client) -> RefreshReport:
         """Bring the cache up to date; at most two far accesses."""
         with client.trace("rvec.refresh"):

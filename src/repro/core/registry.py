@@ -97,8 +97,8 @@ class FarRegistry:
         size = WORD + capacity * ENTRY_WORDS * WORD
         base = allocator.alloc(size, hint)
         fabric = allocator.fabric
-        fabric.write(base, b"\x00" * size)
-        fabric.write_word(base, capacity)
+        fabric.write(base, b"\x00" * size)  # fmlint: disable=FM003 (pre-attach provisioning)
+        fabric.write_word(base, capacity)  # fmlint: disable=FM003 (pre-attach provisioning)
         return cls(base=base, capacity=capacity, allocator=allocator)
 
     @classmethod
@@ -126,25 +126,37 @@ class FarRegistry:
         client.write(blob, encode_u64(len(payload)) + payload)
         client.fence()
         h = name_hash(name)
-        for i in range(self.capacity):
-            self.stats.probes += 1
-            entry = self._entry_addr(h + i)
-            current = client.read_u64(entry)
-            if current == h:
+        while True:
+            # Scan the whole probe chain before claiming: a tombstone
+            # early in the chain does not prove the name is absent — it
+            # may live in a later slot (registered past a since-deleted
+            # entry). Remember the first reusable slot, keep reading
+            # until FREE (end of chain) or the name itself.
+            claim: Optional[tuple[int, int]] = None  # (entry addr, old value)
+            for i in range(self.capacity):
+                self.stats.probes += 1
+                entry = self._entry_addr(h + i)
+                current = client.read_u64(entry)
+                if current == h:
+                    self.allocator.free(blob)
+                    raise RegistryError(f"name {name!r} already registered")
+                if current in (FREE, TOMBSTONE) and claim is None:
+                    claim = (entry, current)
+                if current == FREE:
+                    break  # chain ends here; no duplicate beyond
+            if claim is None:
                 self.allocator.free(blob)
-                raise RegistryError(f"name {name!r} already registered")
-            if current in (FREE, TOMBSTONE):
-                _, ok = client.cas(entry, current, h)
-                if not ok:
-                    continue  # lost the slot; keep probing
-                client.wscatter(
-                    [(entry + WORD, WORD), (entry + 2 * WORD, WORD)],
-                    encode_u64(kind) + encode_u64(blob),
-                )
-                self.stats.registrations += 1
-                return
-        self.allocator.free(blob)
-        raise RegistryError("registry full")
+                raise RegistryError("registry full")
+            entry, current = claim
+            _, ok = client.cas(entry, current, h)
+            if not ok:
+                continue  # lost the slot to a concurrent registrant; rescan
+            client.wscatter(
+                [(entry + WORD, WORD), (entry + 2 * WORD, WORD)],
+                encode_u64(kind) + encode_u64(blob),
+            )
+            self.stats.registrations += 1
+            return
 
     def lookup(self, client: Client, name: str) -> Optional[tuple[int, bytes]]:
         """Resolve ``name`` to ``(kind, payload)``; None when absent.

@@ -59,6 +59,7 @@ class FarVector:
             raise ValueError("vector length must be positive")
         descriptor = allocator.alloc(WORD, hint)
         storage = allocator.alloc(length * WORD, hint)
+        # fmlint: disable=FM003 (pre-attach provisioning)
         allocator.fabric.write_word(descriptor, storage)
         return cls(descriptor=descriptor, length=length)
 

@@ -135,10 +135,14 @@ class Client:
         self._issue_ctx: Optional[FarFuture] = None
         # Observability (repro.obs). The tracer is a pure observer: every
         # hook below is bookkeeping only, so metrics and timestamps are
-        # bit-identical with tracing on or off. _trace_node carries the
-        # target memory node from _issue to _account_far (tracing only).
+        # bit-identical with tracing on or off. _trace_node/_trace_addr/
+        # _trace_target carry the memory node, issue address, and resolved
+        # indirection target from _issue to _account_far (tracing only;
+        # the race detector in repro.analysis.races consumes them).
         self._tracer = None
         self._trace_node: Optional[int] = None
+        self._trace_addr: Optional[int] = None
+        self._trace_target: Optional[int] = None
         if _default_tracer_provider is not None:
             tracer = _default_tracer_provider()
             if tracer is not None:
@@ -257,12 +261,15 @@ class Client:
                 op=self._issue_ctx.op if self._issue_ctx is not None else None,
                 charge_ns=charge,
                 node=self._trace_node,
+                addr=self._trace_addr,
+                target=self._trace_target,
                 nbytes_read=nbytes_read,
                 nbytes_written=nbytes_written,
                 forward_hops=forward_hops,
                 segments=segments,
                 atomic=atomic,
             )
+            self._trace_target = None
 
     def charge_far_access(
         self, *, nbytes_read: int = 0, nbytes_written: int = 0
@@ -271,6 +278,7 @@ class Client:
         by another subsystem (e.g. installing a notification subscription
         at a memory node)."""
         self._trace_node = None  # no address: the tracer sees "external"
+        self._trace_addr = None
         self._account_far(nbytes_read=nbytes_read, nbytes_written=nbytes_written)
 
     def touch_local(self, count: int = 1) -> None:
@@ -471,11 +479,13 @@ class Client:
         if policy is None and self.breaker_policy is None:
             if self._tracer is not None:
                 self._trace_node = fabric.node_of(address)
+                self._trace_addr = address
             fabric.fault_check(address)
             return op(*args)
         node = fabric.node_of(address)
         if self._tracer is not None:
             self._trace_node = node
+            self._trace_addr = address
         breaker = self._breaker_for(node)
         if breaker is not None and not breaker.allow(self.clock.now_ns):
             self.metrics.breaker_rejections += 1
@@ -658,6 +668,10 @@ class Client:
             if pending is None or not self.auto_complete_indirection:
                 raise
             return self._complete_pending(pending)
+        if self._tracer is not None:
+            # The resolved data address: where the indirection actually
+            # landed (race-detector happens-before hinges on this word).
+            self._trace_target = getattr(result, "pointer", None)
         self._account_far(
             nbytes_read=nbytes_read,
             nbytes_written=nbytes_written,

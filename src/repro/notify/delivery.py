@@ -126,6 +126,7 @@ class DeliveryEngine:
                 sub_id=sub.sub_id,
                 coalesced=coalesced,
                 loss_warning=loss_warning,
+                watch_addr=sub.address,
             )
 
     def offer(self, sub: Subscription, notification: Notification) -> bool:

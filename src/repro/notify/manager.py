@@ -199,7 +199,7 @@ class NotificationManager:
         offset = watch_address - write_address
         if 0 <= offset and offset + WORD <= len(new_bytes):
             return decode_u64(new_bytes[offset : offset + WORD])
-        return self.fabric.read_word(watch_address)
+        return self.fabric.read_word(watch_address)  # fmlint: disable=FM003 (memory-node-side read)
 
     def _next_seq(self) -> int:
         self._seq += 1

@@ -333,12 +333,21 @@ class Tracer:
         forward_hops: int,
         segments: int,
         atomic: bool,
+        addr: Optional[int] = None,
+        target: Optional[int] = None,
     ) -> None:
         span = self._current(client)
         span.far_accesses += 1
         data: dict[str, Any] = {"op": op or "external", "charge_ns": charge_ns}
         if node is not None:
             data["node"] = node
+        if addr is not None:
+            # The far address the operation named, and (for indirect ops)
+            # the resolved data word it landed on — what the offline race
+            # detector (repro.analysis.races) builds happens-before from.
+            data["addr"] = addr
+        if target is not None:
+            data["target"] = target
         if nbytes_read:
             data["nbytes_read"] = nbytes_read
         if nbytes_written:
@@ -429,8 +438,14 @@ class Tracer:
         sub_id: int,
         coalesced: int,
         loss_warning: bool,
+        watch_addr: Optional[int] = None,
     ) -> None:
         data: dict[str, Any] = {"outcome": outcome, "sub_id": sub_id}
+        if watch_addr is not None:
+            # The watched word: a delivered notification means its last
+            # write is visible to this client (a happens-before edge the
+            # offline race detector consumes).
+            data["watch_addr"] = watch_addr
         if coalesced > 1:
             data["coalesced"] = coalesced
         if loss_warning:

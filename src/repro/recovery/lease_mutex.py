@@ -94,6 +94,7 @@ class LeasedFarMutex:
         words = 2 if epoch_addr is not None else 3
         address = allocator.alloc(words * WORD, hint)
         fabric = allocator.fabric
+        # fmlint: disable=FM003 (pre-attach provisioning)
         fabric.write(address, b"\x00" * words * WORD)
         if epoch_addr is None:
             epoch_addr = address + 2 * WORD
@@ -161,7 +162,7 @@ class LeasedFarMutex:
             if cas_committed:
                 try:  # undo the half-finished acquisition if the fabric allows
                     client.cas(self.address, token, UNLOCKED)
-                except FarTimeoutError:
+                except FarTimeoutError:  # fmlint: disable=FM004 (lease expiry recovers)
                     pass  # equivalent to crashing while holding: lease expiry recovers
             return False
         if took_over:

@@ -150,13 +150,14 @@ class QueueScrubber:
             wrapped = queue._wrapped(slack_addr)
             resident = client.read_u64(wrapped)
             if resident == EMPTY:
-                client.wscatter(
+                client.wscatter(  # fmlint: disable=FM001 (crash-ordered, one migration at a time)
                     [(wrapped, WORD), (slack_addr, WORD)],
                     encode_u64(value) + encode_u64(EMPTY),
                 )
             else:
                 # The wrapped slot was already filled (the migration had
                 # completed but the slack clear was lost): just clear.
+                # fmlint: disable=FM001 (crash-ordered, one migration at a time)
                 client.write_u64(slack_addr, EMPTY)
             report.migrations_completed += 1
 

@@ -1,0 +1,301 @@
+"""fmlint rule tests: one bad and one good fixture per code, plus
+suppression handling and the repo-wide cleanliness gate."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.fmlint import RULES, lint_paths, lint_source, render_rules
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _lint(source: str):
+    return lint_source(textwrap.dedent(source))
+
+
+def _codes(source: str):
+    return [finding.code for finding in _lint(source)]
+
+
+# ---------------------------------------------------------------------------
+# FM001 — sync-far-op-in-loop
+# ---------------------------------------------------------------------------
+
+
+class TestFM001:
+    def test_flags_discarded_sync_op_in_for_loop(self):
+        findings = _lint(
+            """
+            def zero(client, addrs):
+                for addr in addrs:
+                    client.write_u64(addr, 0)
+            """
+        )
+        assert [f.code for f in findings] == ["FM001"]
+        assert "write_u64" in findings[0].message
+
+    def test_batch_context_is_clean(self):
+        assert (
+            _codes(
+                """
+                def zero(client, addrs):
+                    with client.batch():
+                        for addr in addrs:
+                            client.write_u64(addr, 0)
+                """
+            )
+            == []
+        )
+
+    def test_loop_exit_after_op_is_clean(self):
+        # Find-then-act-once: the op runs at most once per call.
+        assert (
+            _codes(
+                """
+                def claim(client, slots):
+                    for slot in slots:
+                        client.write_u64(slot, 1)
+                        return slot
+                """
+            )
+            == []
+        )
+
+    def test_non_client_receiver_is_clean(self):
+        assert (
+            _codes(
+                """
+                def dump(fh, rows):
+                    for row in rows:
+                        fh.write(row)
+                """
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
+# FM002 — leaked-far-future
+# ---------------------------------------------------------------------------
+
+
+class TestFM002:
+    def test_flags_discarded_unsignaled_submit(self):
+        assert (
+            _codes(
+                """
+                def fire(client, addr):
+                    client.submit("write_u64", addr, 1, signaled=False)
+                """
+            )
+            == ["FM002"]
+        )
+
+    def test_flags_assigned_but_never_used_future(self):
+        findings = _lint(
+            """
+            def fire(client, addr):
+                fut = client.submit("write_u64", addr, 1)
+            """
+        )
+        assert [f.code for f in findings] == ["FM002"]
+        assert "'fut'" in findings[0].message
+
+    def test_result_ed_future_is_clean(self):
+        assert (
+            _codes(
+                """
+                def fire(client, addr):
+                    fut = client.submit("write_u64", addr, 1)
+                    return fut.result()
+                """
+            )
+            == []
+        )
+
+    def test_discarded_signaled_submit_with_cq_drain_is_clean(self):
+        assert (
+            _codes(
+                """
+                def fire(client, addr):
+                    client.submit("write_u64", addr, 1)
+                    while client.cq.poll() is not None:
+                        pass
+                """
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
+# FM003 — bypass-client-metering
+# ---------------------------------------------------------------------------
+
+
+class TestFM003:
+    def test_flags_raw_fabric_data_op(self):
+        findings = _lint(
+            """
+            def poke(fabric, addr):
+                fabric.write_word(addr, 7)
+            """
+        )
+        assert [f.code for f in findings] == ["FM003"]
+        assert "metered Client" in findings[0].message
+
+    def test_flags_fabric_attribute_receiver(self):
+        assert (
+            _codes(
+                """
+                def poke(self, addr):
+                    self.fabric.read(addr, 8)
+                """
+            )
+            == ["FM003"]
+        )
+
+    def test_client_op_is_clean(self):
+        assert _codes("client.write_u64(0, 7)\n") == []
+
+
+# ---------------------------------------------------------------------------
+# FM004 — swallowed-far-timeout
+# ---------------------------------------------------------------------------
+
+
+class TestFM004:
+    def test_flags_empty_timeout_handler(self):
+        assert (
+            _codes(
+                """
+                def probe(client, addr):
+                    try:
+                        return client.read_u64(addr)
+                    except FarTimeoutError:
+                        pass
+                """
+            )
+            == ["FM004"]
+        )
+
+    def test_flags_timeout_in_exception_tuple(self):
+        assert (
+            _codes(
+                """
+                def probe(client, addr):
+                    try:
+                        return client.read_u64(addr)
+                    except (OSError, FarTimeoutError):
+                        pass
+                """
+            )
+            == ["FM004"]
+        )
+
+    def test_handler_that_records_is_clean(self):
+        assert (
+            _codes(
+                """
+                def probe(client, addr, stats):
+                    try:
+                        return client.read_u64(addr)
+                    except FarTimeoutError:
+                        stats.timeouts += 1
+                        return None
+                """
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
+# FM005 — nondeterministic-source
+# ---------------------------------------------------------------------------
+
+
+class TestFM005:
+    def test_flags_time_import_and_global_rng_and_wall_clock(self):
+        assert (
+            _codes(
+                """
+                import time
+
+                def jitter():
+                    return random.random() + time.time()
+
+                def stamp():
+                    return datetime.now()
+                """
+            )
+            == ["FM005", "FM005", "FM005"]
+        )
+
+    def test_seeded_rng_constructors_are_clean(self):
+        assert (
+            _codes(
+                """
+                def rngs(seed):
+                    return random.Random(seed), np.random.default_rng(seed)
+                """
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    BAD_LOOP = """
+    def zero(client, addrs):
+        for addr in addrs:
+            client.write_u64(addr, 0){trailer}
+    """
+
+    def test_trailing_comment_suppresses_its_line(self):
+        source = self.BAD_LOOP.format(
+            trailer="  # fmlint: disable=FM001 (measured: bandwidth-bound)"
+        )
+        assert _codes(source) == []
+
+    def test_standalone_comment_covers_next_line(self):
+        assert (
+            _codes(
+                """
+                def zero(client, addrs):
+                    for addr in addrs:
+                        # fmlint: disable=FM001 (crash-ordering requires it)
+                        client.write_u64(addr, 0)
+                """
+            )
+            == []
+        )
+
+    def test_wrong_code_does_not_suppress(self):
+        source = self.BAD_LOOP.format(trailer="  # fmlint: disable=FM003")
+        assert _codes(source) == ["FM001"]
+
+    def test_file_wide_suppression(self):
+        source = "# fmlint: disable-file=FM001\n" + textwrap.dedent(
+            self.BAD_LOOP.format(trailer="")
+        )
+        assert lint_source(source) == []
+
+
+# ---------------------------------------------------------------------------
+# Repo gate + rule table
+# ---------------------------------------------------------------------------
+
+
+class TestRepoIsClean:
+    def test_src_and_examples_lint_clean(self):
+        findings = lint_paths([str(REPO / "src"), str(REPO / "examples")])
+        rendered = "\n".join(f.format() for f in findings)
+        assert findings == [], f"fmlint findings:\n{rendered}"
+
+    def test_rule_table_lists_every_code(self):
+        table = render_rules()
+        for code, rule in RULES.items():
+            assert code in table and rule.name in table

@@ -58,3 +58,59 @@ def test_validate_rejects_tampered_trace(tmp_path, capsys):
 def test_trace_unknown_target_is_an_error():
     with pytest.raises(SystemExit, match="cannot find"):
         main(["trace", "no-such-example"])
+
+
+def test_lint_subcommand_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def zero(client, addrs):\n"
+        "    for addr in addrs:\n"
+        "        client.write_u64(addr, 0)\n"
+    )
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "FM001" in out and "1 finding(s)" in out
+
+    good = tmp_path / "good.py"
+    good.write_text("def add(a, b):\n    return a + b\n")
+    assert main(["lint", str(good)]) == 0
+    assert "fmlint: clean" in capsys.readouterr().out
+
+    assert main(["lint", "--list-rules"]) == 0
+    assert "sync-far-op-in-loop" in capsys.readouterr().out
+
+
+def test_sanitize_subcommand_reports_budgets(tmp_path, capsys):
+    script = tmp_path / "counter_demo.py"
+    script.write_text(
+        "from repro import Cluster\n"
+        "cluster = Cluster(node_count=1, node_size=8 << 20)\n"
+        "client = cluster.client('demo')\n"
+        "counter = cluster.far_counter()\n"
+        "for _ in range(3):\n"
+        "    counter.increment(client)\n"
+        "print('value', counter.read(client))\n"
+    )
+    assert main(["sanitize", str(script)]) == 0
+    out = capsys.readouterr().out
+    assert "FarCounter.increment" in out and "C2" in out
+
+
+def test_sanitize_subcommand_fails_on_violations(tmp_path, capsys):
+    script = tmp_path / "over_budget.py"
+    script.write_text(
+        "from repro import Cluster\n"
+        "from repro.analysis.budget import far_budget\n"
+        "\n"
+        "class Chatty:\n"
+        "    @far_budget(0, ceiling=0)\n"
+        "    def op(self, client, addr):\n"
+        "        return client.read_u64(addr)\n"
+        "\n"
+        "cluster = Cluster(node_count=1, node_size=8 << 20)\n"
+        "client = cluster.client('demo')\n"
+        "Chatty().op(client, cluster.allocator.alloc(8))\n"
+        "print('ran')\n"
+    )
+    assert main(["sanitize", str(script), "--no-strict"]) == 1
+    assert "budget violation" in capsys.readouterr().out
