@@ -21,6 +21,9 @@ FM004     swallowed-far-timeout   ``except FarTimeoutError`` that neither
                                   retries, records, nor re-raises
 FM005     nondeterministic-source wall-clock time or an unseeded global RNG
                                   in simulation code
+FM006     unverified-replicated-read a raw client read addressed via a replica
+                                  pointer — replicated data carries checksum
+                                  frames; read it via read_verified()/read_block()
 ========  ======================  ==============================================
 
 Suppressions
@@ -38,7 +41,8 @@ visible instead of silently normalized.
 
 The public API is :func:`lint_source` / :func:`lint_file` /
 :func:`lint_paths`; ``python -m repro lint`` is the CLI. Files under
-``repro/fabric/`` are exempt from FM003 — they *are* the metering layer.
+``repro/fabric/`` are exempt from FM003 and FM006 — they *are* the
+metering layer and the verified-read implementation.
 """
 
 from __future__ import annotations
@@ -181,8 +185,19 @@ RULES: dict[str, Rule] = {
             "wall-clock time or unseeded global RNG breaks simulation "
             "determinism; use the SimClock / a seeded random.Random",
         ),
+        Rule(
+            "FM006",
+            "unverified-replicated-read",
+            "raw client read addressed through a replica pointer returns "
+            "bytes unchecked; corruption flows silently — use "
+            "read_verified() or the region's read_block()",
+        ),
     )
 }
+
+#: Client read-family ops FM006 watches: these return far bytes (or a
+#: word decoded from them) without consulting any checksum.
+_UNVERIFIED_READ_OPS = frozenset({"read", "read_u64", "rscatter", "rgather"})
 
 
 def _attr_name(node: ast.AST) -> Optional[str]:
@@ -416,8 +431,36 @@ class _Checker(ast.NodeVisitor):
                     "metrics, no budget, no trace; issue it through a "
                     "client (or suppress for one-time provisioning)",
                 )
+            # FM006: client.read(replica + off, ...) — the address names a
+            # replica, so the bytes came from replicated (hence framed)
+            # storage, but nothing checked the frame.
+            if (
+                name in _UNVERIFIED_READ_OPS
+                and self._is_client_receiver(node.func)
+                and node.args
+                and self._mentions_replica(node.args[0])
+            ):
+                self._emit(
+                    node,
+                    "FM006",
+                    f"client.{name}() addressed through a replica pointer "
+                    "returns unchecked bytes; corruption and torn writes "
+                    "flow through silently — use read_verified() or the "
+                    "region's read_block()",
+                )
             self._check_nondeterminism_call(node)
         self.generic_visit(node)
+
+    @staticmethod
+    def _mentions_replica(arg: ast.AST) -> bool:
+        """True when the address expression names a replica (``replica +
+        off``, ``region.replicas[0]``, ``primary_replica``...)."""
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and "replica" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "replica" in sub.attr.lower():
+                return True
+        return False
 
     # -- FM004 -----------------------------------------------------------
 
@@ -569,7 +612,11 @@ def lint_source(
 def _exempt_codes(path: str) -> set[str]:
     normalized = path.replace(os.sep, "/")
     if "repro/fabric/" in normalized:
-        return {"FM003"}  # the fabric layer IS the metering boundary
+        # The fabric layer IS the metering boundary, and replication.py's
+        # verified paths are where replica-addressed raw reads are legal
+        # (read() is the documented unverified fallback; read_block() is
+        # built from them).
+        return {"FM003", "FM006"}
     return set()
 
 

@@ -24,6 +24,7 @@ from .errors import (
     CircuitOpenError,
     ClientDeadError,
     FabricError,
+    FarCorruptionError,
     FarTimeoutError,
     NodeUnavailableError,
     ProtectionError,
@@ -32,9 +33,18 @@ from .errors import (
     RemoteIndirectionError,
     RpcError,
     StaleCacheError,
+    StaleEpochError,
 )
 from .fabric import Fabric, FabricResult, IndirectionPolicy
 from .faults import FaultInjector, FaultPlan, FaultRule, FaultStats
+from .integrity import (
+    FRAME_OVERHEAD,
+    IntegrityStats,
+    frame_block,
+    frame_size,
+    try_unframe,
+    unframe_block,
+)
 from .latency import CostModel, SimClock, Stopwatch
 from .retry import BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy
 from .memory_node import MemoryNode, NodeStats
@@ -48,6 +58,7 @@ from .wire import (
     WORD,
     align_down,
     align_up,
+    crc32_u64,
     decode_u64,
     encode_u64,
     is_word_aligned,
@@ -69,6 +80,7 @@ __all__ = [
     "AllocationError",
     "CircuitOpenError",
     "ClientDeadError",
+    "FarCorruptionError",
     "FarTimeoutError",
     "NodeUnavailableError",
     "FabricError",
@@ -78,6 +90,7 @@ __all__ = [
     "RemoteIndirectionError",
     "RpcError",
     "StaleCacheError",
+    "StaleEpochError",
     "Fabric",
     "FabricResult",
     "IndirectionPolicy",
@@ -85,6 +98,12 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FaultStats",
+    "FRAME_OVERHEAD",
+    "IntegrityStats",
+    "frame_block",
+    "frame_size",
+    "try_unframe",
+    "unframe_block",
     "CostModel",
     "SimClock",
     "Stopwatch",
@@ -108,6 +127,7 @@ __all__ = [
     "WORD",
     "align_down",
     "align_up",
+    "crc32_u64",
     "decode_u64",
     "encode_u64",
     "is_word_aligned",

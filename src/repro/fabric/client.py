@@ -54,6 +54,7 @@ from typing import Any, Iterator, Optional, Sequence
 from .errors import (
     CircuitOpenError,
     ClientDeadError,
+    FarCorruptionError,
     FarTimeoutError,
     NodeUnavailableError,
     RemoteIndirectionError,
@@ -476,12 +477,20 @@ class Client:
         self._check_alive()
         fabric = self.fabric
         policy = self.retry_policy
+        kind = getattr(op, "__name__", None)
         if policy is None and self.breaker_policy is None:
             if self._tracer is not None:
                 self._trace_node = fabric.node_of(address)
                 self._trace_addr = address
-            fabric.fault_check(address)
-            return op(*args)
+            try:
+                fabric.fault_check(address, kind)
+                return op(*args)
+            except FarTimeoutError as err:
+                if self._tracer is not None and err.torn:
+                    self._tracer.on_torn_write(
+                        self, op=kind, node=err.node, addr=address, attempt=1
+                    )
+                raise
         node = fabric.node_of(address)
         if self._tracer is not None:
             self._trace_node = node
@@ -517,7 +526,7 @@ class Client:
                         backoff_ns=backoff,
                     )
             try:
-                fabric.fault_check(address)
+                fabric.fault_check(address, kind)
                 result = op(*args)
             except FarTimeoutError as err:
                 self.metrics.timeouts += 1
@@ -528,6 +537,13 @@ class Client:
                         node=node,
                         attempt=attempt,
                     )
+                    if err.torn:
+                        # A torn write is a timeout with teeth: a prefix
+                        # landed. A later successful retry rewrites the
+                        # full buffer, healing the tear.
+                        self._tracer.on_torn_write(
+                            self, op=kind, node=node, addr=address, attempt=attempt
+                        )
                 last = err
             except NodeUnavailableError as err:
                 last = err
@@ -590,6 +606,52 @@ class Client:
     def swap(self, address: int, value: int) -> int:
         """Atomic exchange (one far access); returns the old value."""
         return self._submit("swap", (address, value), {}, tracked=False).result()
+
+    # ------------------------------------------------------------------
+    # Verified I/O (repro.fabric.integrity): end-to-end checksums over
+    # the same one-sided ops — far memory cannot verify what it stores.
+    # ------------------------------------------------------------------
+
+    def write_framed(self, address: int, payload: bytes, *, version: int = 0) -> None:
+        """Write ``payload`` wrapped in a crc+version frame (one far
+        access; the frame occupies ``frame_size(len(payload))`` bytes)."""
+        from .integrity import frame_block
+
+        self.write(address, frame_block(payload, version))
+
+    def read_verified(
+        self, address: int, payload_len: int, *, fallback: Sequence[int] = ()
+    ) -> tuple[int, bytes]:
+        """Read and checksum-verify one frame; returns ``(version, payload)``.
+
+        On a checksum miss (corrupted bytes or a torn write) the read
+        transparently fails over to each address in ``fallback`` — healthy
+        replica copies of the same block — at **one extra far access per
+        verify-miss**; when every copy fails verification the last miss is
+        raised as :class:`FarCorruptionError`. Misses are counted in
+        ``metrics.verify_misses`` (and successful verifications in
+        ``metrics.verified_reads``), so detection overhead stays explicit
+        in the ledger.
+        """
+        from .integrity import frame_size, try_unframe
+
+        length = frame_size(payload_len)
+        last: Optional[FarCorruptionError] = None
+        for attempt_addr in (address, *fallback):
+            frame = self.read(attempt_addr, length)
+            self.metrics.verified_reads += 1
+            decoded = try_unframe(frame)
+            if decoded is not None:
+                return decoded
+            self.metrics.verify_misses += 1
+            node = self.fabric.node_of(attempt_addr)
+            if self._tracer is not None:
+                self._tracer.on_corruption_detected(
+                    self, node=node, addr=attempt_addr, payload_len=payload_len
+                )
+            last = FarCorruptionError(node, attempt_addr, payload_len)
+        assert last is not None
+        raise last
 
     def _op_read(self, address: int, length: int) -> bytes:
         result = self._issue(address, self.fabric.read, address, length)

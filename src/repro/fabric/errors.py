@@ -75,13 +75,67 @@ class FarTimeoutError(FabricError):
     non-idempotent atomics and Fig. 1 pointer-bump primitives.
     """
 
-    def __init__(self, node: int, address: int, reason: str = "") -> None:
+    def __init__(
+        self, node: int, address: int, reason: str = "", *, torn: bool = False
+    ) -> None:
         detail = f"operation to node {node} timed out (address 0x{address:x})"
         if reason:
             detail = f"{detail}: {reason}"
         super().__init__(detail)
         self.node = node
         self.address = address
+        # True when the timed-out write applied a prefix before the fabric
+        # lost it (a TORN fault): the far bytes are now neither old nor new,
+        # and only a checksum frame (repro.fabric.integrity) can tell.
+        self.torn = torn
+
+
+class FarCorruptionError(FabricError):
+    """A verified read found a frame whose checksum does not match.
+
+    Raised by :meth:`~repro.fabric.client.Client.read_verified` (and the
+    framed :class:`~repro.fabric.replication.ReplicatedRegion` paths) only
+    after every supplied replica failed verification — a single corrupt
+    copy is healed transparently by re-reading the next one. Corrupted
+    bytes and torn-write prefixes are indistinguishable at read time; both
+    surface here instead of being returned as valid data.
+    """
+
+    def __init__(
+        self, node: int, address: int, payload_len: int = 0, reason: str = ""
+    ) -> None:
+        detail = (
+            f"checksum mismatch at address 0x{address:x} on node {node}"
+            f" (payload {payload_len} bytes)"
+        )
+        if reason:
+            detail = f"{detail}: {reason}"
+        super().__init__(detail)
+        self.node = node
+        self.address = address
+        self.payload_len = payload_len
+
+
+class StaleEpochError(FabricError):
+    """A fenced write observed a newer repair epoch than the writer holds.
+
+    The :class:`~repro.recovery.repair.RepairCoordinator` bumps a region's
+    far epoch word after rebuilding a replica; a client still holding the
+    pre-repair replica map is *fenced* — its write raises this error
+    before touching any replica, so a stale map can never cause a silent
+    lost write to reassigned memory. Recover with
+    :meth:`~repro.fabric.replication.ReplicatedRegion.rejoin`.
+    """
+
+    def __init__(self, region_id, held: int, current: int) -> None:
+        super().__init__(
+            f"region {region_id}: writer holds epoch {held} but the fence "
+            f"word reads {current}; rejoin the repaired replica set before "
+            "writing"
+        )
+        self.region_id = region_id
+        self.held = held
+        self.current = current
 
 
 class CircuitOpenError(NodeUnavailableError):

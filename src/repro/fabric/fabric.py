@@ -29,7 +29,7 @@ from .errors import RemoteIndirectionError
 from .latency import CostModel
 from .memory_node import MemoryNode
 from .primitives import FarPrimitivesMixin
-from .wire import WORD
+from .wire import WORD, align_down
 
 
 class IndirectionPolicy(enum.Enum):
@@ -144,7 +144,7 @@ class Fabric(FarPrimitivesMixin):
         """Attach (or detach, with ``None``) a transient-fault injector."""
         self._fault_injector = injector
 
-    def fault_check(self, address: int) -> None:
+    def fault_check(self, address: int, kind: Optional[str] = None) -> None:
         """Consult the fault injector at one operation boundary.
 
         Clients call this once per one-sided op, *before* the fabric
@@ -154,9 +154,27 @@ class Fabric(FarPrimitivesMixin):
         family). Raises :class:`~repro.fabric.errors.FarTimeoutError`
         when a fault fires; latency spikes instead accumulate a pending
         multiplier read back via :meth:`consume_fault_latency`.
+
+        ``kind`` names the fabric method about to run (``"write"``,
+        ``"read"``, ...) so TORN rules match only multi-word writes. A
+        CORRUPT rule that fires rots stored bytes near ``address`` here,
+        silently, before the op body runs — so the op observes (or
+        overwrites) the corruption exactly as real hardware would.
         """
-        if self._fault_injector is not None:
-            self._fault_injector.before_access(self.node_of(address), address)
+        injector = self._fault_injector
+        if injector is None:
+            return
+        injector.before_access(self.node_of(address), address, kind)
+        flips = injector.take_corruption()
+        if flips:
+            total = self.placement.total_size
+            for byte_off, bit in flips:
+                target = address + byte_off
+                if target >= total:
+                    continue  # rot past the end of the pool lands nowhere
+                location = self.placement.locate(target)
+                # Applied even on a failed node: data decays while down.
+                self.nodes[location.node].corrupt_bit(location.offset, bit)
 
     def consume_fault_latency(self) -> float:
         """Latency multiplier for the op just completed (1.0 when no
@@ -196,7 +214,31 @@ class Fabric(FarPrimitivesMixin):
         return FabricResult(value=b"".join(pieces), segments=max(1, len(segments)))
 
     def write(self, address: int, data: bytes) -> FabricResult:
-        """One-sided write of a global range (split across nodes if striped)."""
+        """One-sided write of a global range (split across nodes if striped).
+
+        A pending TORN fault (set by :meth:`fault_check` for this op)
+        lands a word-aligned prefix of ``data``, then raises
+        :class:`~repro.fabric.errors.FarTimeoutError` with ``torn=True``
+        — the far bytes are now neither old nor new. ``wscatter`` and
+        ``wgather`` funnel through here per buffer, so a torn replicated
+        write tears its first target and never reaches the rest.
+        """
+        if self._fault_injector is not None:
+            fraction = self._fault_injector.take_torn_fraction()
+            if fraction is not None:
+                from .errors import FarTimeoutError
+
+                prefix = align_down(int(len(data) * fraction), WORD)
+                if prefix > 0:
+                    self._write_segments(address, bytes(data[:prefix]))
+                raise FarTimeoutError(
+                    self.node_of(address), address,
+                    reason=f"torn write ({prefix}/{len(data)} bytes applied)",
+                    torn=True,
+                )
+        return self._write_segments(address, data)
+
+    def _write_segments(self, address: int, data: bytes) -> FabricResult:
         segments = self.placement.split(address, len(data))
         cursor = 0
         for location, seg_len in segments:

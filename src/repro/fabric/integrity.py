@@ -1,0 +1,98 @@
+"""Checksum framing: end-to-end integrity for far-memory blocks.
+
+Far memory has no application processor (section 2), so it cannot verify
+what it stores — integrity, like replication, must be client-driven.
+This module defines the *frame*, the unit of client-verifiable storage:
+
+    +----------------+----------------+----------------------+
+    |  crc word (8B) | version word   |  payload             |
+    +----------------+----------------+----------------------+
+
+* **crc word** — CRC-32 (widened to a fabric word) over ``version word +
+  payload``. Covering the version means a torn write that lands only the
+  crc word — or only part of the payload — can never verify.
+* **version word** — a monotonically increasing writer stamp. It is
+  *not* a concurrency-control token (single-writer regions remain the
+  contract, as for :class:`~repro.fabric.replication.ReplicatedRegion`);
+  it lets repair and audit tooling tell a stale-but-intact frame from a
+  corrupt one.
+* **payload** — the caller's bytes, opaque to this layer.
+
+Both failure modes the fault injector models surface identically at read
+time: a ``CORRUPT`` bit flip breaks the CRC directly, and a ``TORN``
+write leaves a prefix whose CRC covers bytes that were never written.
+:func:`try_unframe` returns ``None`` for either; callers with replicas
+re-read the next copy, callers without raise
+:class:`~repro.fabric.errors.FarCorruptionError`.
+
+Cost accounting: a frame is read or written in **one far access** (the
+CRC and version ride in the same transfer, costing only
+:data:`FRAME_OVERHEAD` extra bytes); each verification *miss* costs
+exactly one extra far access — the re-read of the next replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import FarCorruptionError
+from .wire import WORD, crc32_u64, decode_u64, encode_u64
+
+FRAME_OVERHEAD = 2 * WORD
+"""Bytes of framing (crc word + version word) prepended to each payload."""
+
+
+def frame_size(payload_len: int) -> int:
+    """On-fabric bytes for a frame holding ``payload_len`` payload bytes."""
+    if payload_len <= 0:
+        raise ValueError("frame payload length must be positive")
+    return payload_len + FRAME_OVERHEAD
+
+
+def frame_block(payload: bytes, version: int) -> bytes:
+    """Wrap ``payload`` in a crc+version frame, ready for one far write."""
+    body = encode_u64(version) + bytes(payload)
+    return encode_u64(crc32_u64(body)) + body
+
+
+def try_unframe(frame: bytes) -> Optional[tuple[int, bytes]]:
+    """Verify and open a frame.
+
+    Returns ``(version, payload)`` when the stored CRC matches, ``None``
+    when it does not (corrupted, torn, or never initialised). Never
+    raises on bad data — the caller decides between replica failover and
+    :class:`~repro.fabric.errors.FarCorruptionError`.
+    """
+    if len(frame) <= FRAME_OVERHEAD:
+        return None
+    stored = decode_u64(frame[:WORD])
+    body = frame[WORD:]
+    if crc32_u64(body) != stored:
+        return None
+    return decode_u64(body[:WORD]), bytes(body[WORD:])
+
+
+def unframe_block(frame: bytes, *, node: int = -1, address: int = 0) -> tuple[int, bytes]:
+    """Open a frame or raise :class:`FarCorruptionError` (no replica to
+    fall back to). ``node``/``address`` only annotate the error."""
+    decoded = try_unframe(frame)
+    if decoded is None:
+        raise FarCorruptionError(node, address, max(0, len(frame) - FRAME_OVERHEAD))
+    return decoded
+
+
+@dataclass
+class IntegrityStats:
+    """Verification accounting for a framing-layer user (repair, bench)."""
+
+    frames_written: int = 0
+    frames_verified: int = 0
+    verify_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "frames_written": self.frames_written,
+            "frames_verified": self.frames_verified,
+            "verify_misses": self.verify_misses,
+        }

@@ -110,6 +110,20 @@ class MemoryNode:
         self.stats.bytes_written += WORD
         self._fire(offset, WORD)
 
+    def corrupt_bit(self, offset: int, bit: int) -> None:
+        """Flip one stored bit *silently* (fault injection only).
+
+        Models DRAM rot / a misbehaving DMA engine: no write hook fires
+        (the notification subsystem cannot see hardware decay), no stats
+        move (the node did not service an operation), so the corruption is
+        observable only through the bytes themselves — exactly what the
+        checksum framing layer exists to catch.
+        """
+        self._check(offset, 1)
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index must be in [0, 8), got {bit}")
+        self._data[offset] ^= 1 << bit
+
     # ------------------------------------------------------------------
     # Fabric-level atomics (section 2: CAS as in RDMA / Gen-Z)
     # ------------------------------------------------------------------

@@ -25,6 +25,14 @@ claim in the paper and the benchmarks is about completed work. Failed
 attempts show up in ``timeouts`` (one per timed-out attempt), ``retries``
 (re-attempts issued), ``backoff_ns`` (simulated time spent backing off),
 and the ``breaker_*`` counters (client-side circuit breaking).
+
+The integrity layer (:mod:`repro.fabric.integrity`) adds
+``verified_reads`` (checksum verifications attempted — each is one
+completed far access, already in ``far_accesses``), ``verify_misses``
+(frames that failed verification; each miss costs exactly one extra far
+access, the re-read of the next replica), and ``fence_rejects``
+(replicated writes refused by a repair-epoch fence before touching any
+replica).
 """
 
 from __future__ import annotations
@@ -53,6 +61,9 @@ class Metrics:
     rpc_bytes: int = 0
     retries: int = 0
     timeouts: int = 0
+    verified_reads: int = 0
+    verify_misses: int = 0
+    fence_rejects: int = 0
     breaker_trips: int = 0
     breaker_rejections: int = 0
     backoff_ns: int = 0
@@ -80,6 +91,9 @@ class Metrics:
         "rpc_bytes",
         "retries",
         "timeouts",
+        "verified_reads",
+        "verify_misses",
+        "fence_rejects",
         "breaker_trips",
         "breaker_rejections",
         "backoff_ns",

@@ -9,6 +9,8 @@ memory are unsigned 64-bit; signed arithmetic (e.g. a negative delta to
 
 from __future__ import annotations
 
+import zlib
+
 WORD = 8
 """Size in bytes of a fabric word (64 bits)."""
 
@@ -58,3 +60,15 @@ def align_down(value: int, alignment: int) -> int:
     if alignment <= 0:
         raise ValueError("alignment must be positive")
     return value - (value % alignment)
+
+
+def crc32_u64(data: bytes) -> int:
+    """CRC-32 of ``data``, widened to a fabric word.
+
+    The checksum word stored by the integrity framing layer
+    (:mod:`repro.fabric.integrity`). CRC-32's Hamming distance is 4 for
+    frames under ~11 KiB, so every 1–3 bit corruption is detected, and a
+    torn prefix (which truncates or zeroes the tail) changes the covered
+    bytes wholesale.
+    """
+    return zlib.crc32(data) & U64_MASK

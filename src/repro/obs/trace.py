@@ -53,6 +53,10 @@ BACKOFF = "backoff"
 BREAKER_TRIP = "breaker_trip"
 BREAKER_REJECT = "breaker_reject"
 NOTIFY = "notify"
+CORRUPTION_DETECTED = "corruption_detected"
+TORN_WRITE = "torn_write"
+REPAIR_COPY = "repair_copy"
+FENCE_REJECT = "fence_reject"
 
 EVENT_KINDS = (
     FAR_ACCESS,
@@ -63,6 +67,10 @@ EVENT_KINDS = (
     BREAKER_TRIP,
     BREAKER_REJECT,
     NOTIFY,
+    CORRUPTION_DETECTED,
+    TORN_WRITE,
+    REPAIR_COPY,
+    FENCE_REJECT,
 )
 
 
@@ -430,6 +438,66 @@ class Tracer:
     def on_breaker_reject(self, client: "Client", *, node: int) -> None:
         self._emit(client, BREAKER_REJECT, {"node": node})
 
+    def on_corruption_detected(
+        self, client: "Client", *, node: int, addr: int, payload_len: int
+    ) -> None:
+        """A verified read caught a frame that failed its checksum —
+        corruption (or a torn write) was *detected*, never returned."""
+        self._emit(
+            client,
+            CORRUPTION_DETECTED,
+            {"node": node, "addr": addr, "payload_len": payload_len},
+        )
+
+    def on_torn_write(
+        self, client: "Client", *, op: Optional[str], node: int, addr: int, attempt: int
+    ) -> None:
+        """A write timed out after applying only a prefix: the far bytes
+        are neither old nor new until the retry (or a verified read)
+        heals them."""
+        self._emit(
+            client,
+            TORN_WRITE,
+            {"op": op or "external", "node": node, "addr": addr, "attempt": attempt},
+        )
+
+    def on_repair_copy(
+        self,
+        client: "Client",
+        *,
+        region: Optional[int],
+        dead_node: int,
+        spare_node: int,
+        blocks: int,
+        nbytes: int,
+        done: int,
+        total: int,
+    ) -> None:
+        """One chunk of a replica rebuild streamed dead→spare. ``done`` /
+        ``total`` make repair progress reconstructable from the event
+        stream alone (the ``python -m repro trace`` summary renders it)."""
+        self._emit(
+            client,
+            REPAIR_COPY,
+            {
+                "region": region,
+                "dead_node": dead_node,
+                "spare_node": spare_node,
+                "blocks": blocks,
+                "nbytes": nbytes,
+                "done": done,
+                "total": total,
+            },
+        )
+
+    def on_fence_reject(
+        self, client: "Client", *, region: Optional[int], held: int, current: int
+    ) -> None:
+        """A stale replica-map holder was fenced before writing anything."""
+        self._emit(
+            client, FENCE_REJECT, {"region": region, "held": held, "current": current}
+        )
+
     def on_notification(
         self,
         client: "Client",
@@ -517,9 +585,51 @@ class Tracer:
                 "events: "
                 + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
             )
+        lines.extend(self._health_lines(counts))
         if not lines:
             return "(empty trace)"
         return "\n".join(lines)
+
+    def _health_lines(self, counts: dict[str, int]) -> list[str]:
+        """Fault-tolerance digest: per-node breaker state, integrity
+        counters, and repair progress — the ``python -m repro trace``
+        lines an operator reads after a faulty run."""
+        lines: list[str] = []
+        for client in self._clients.values():
+            for node in sorted(getattr(client, "breakers", {})):
+                breaker = client.breakers[node]
+                state = breaker.state.value
+                if state == "closed" and not (breaker.trips or breaker.rejections):
+                    continue  # a breaker that never did anything is noise
+                lines.append(
+                    f"breaker: {client.name} node{node} state={state} "
+                    f"trips={breaker.trips} rejections={breaker.rejections}"
+                )
+        detected = counts.get(CORRUPTION_DETECTED, 0)
+        torn = counts.get(TORN_WRITE, 0)
+        fenced = counts.get(FENCE_REJECT, 0)
+        if detected or torn or fenced:
+            lines.append(
+                f"integrity: corruption_detected={detected} "
+                f"torn_writes={torn} fence_rejects={fenced}"
+            )
+        # Repair progress, one line per rebuilt replica (region, dead→spare).
+        progress: dict[tuple, tuple[int, int, int]] = {}
+        for event in self.events:
+            if event.kind != REPAIR_COPY:
+                continue
+            d = event.data
+            key = (d["region"], d["dead_node"], d["spare_node"])
+            done, total, nbytes = progress.get(key, (0, d["total"], 0))
+            progress[key] = (max(done, d["done"]), d["total"], nbytes + d["nbytes"])
+        for (region, dead, spare), (done, total, nbytes) in sorted(
+            progress.items(), key=lambda kv: (str(kv[0][0]), kv[0][1], kv[0][2])
+        ):
+            lines.append(
+                f"repair: region {region} node{dead}->node{spare} "
+                f"{done}/{total} blocks ({nbytes} bytes)"
+            )
+        return lines
 
     def __repr__(self) -> str:
         return (

@@ -10,6 +10,7 @@ lease-based mutexes with takeover, queue scrubbing, barrier repair.
 from .barrier_repair import BarrierRepairReport, arrive_for_dead
 from .lease_mutex import LeasedFarMutex, LeaseStats
 from .queue_scrub import QueueScrubber, ScrubReport
+from .repair import RepairCoordinator, RepairReport
 
 __all__ = [
     "BarrierRepairReport",
@@ -18,4 +19,6 @@ __all__ = [
     "LeaseStats",
     "QueueScrubber",
     "ScrubReport",
+    "RepairCoordinator",
+    "RepairReport",
 ]

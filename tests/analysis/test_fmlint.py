@@ -243,6 +243,80 @@ class TestFM005:
 
 
 # ---------------------------------------------------------------------------
+# FM006 — unverified-replicated-read
+# ---------------------------------------------------------------------------
+
+
+class TestFM006:
+    def test_flags_raw_read_of_replica_address(self):
+        findings = _lint(
+            """
+            def peek(client, replica):
+                return client.read(replica + 64, 48)
+            """
+        )
+        assert [f.code for f in findings] == ["FM006"]
+        assert "read_verified" in findings[0].message
+
+    def test_flags_replica_attribute_and_word_read(self):
+        assert (
+            _codes(
+                """
+                def peek(client, region):
+                    return client.read_u64(region.replicas[0])
+                """
+            )
+            == ["FM006"]
+        )
+
+    def test_verified_read_is_clean(self):
+        assert (
+            _codes(
+                """
+                def peek(client, replica):
+                    return client.read_verified(replica + 64, 48)
+                """
+            )
+            == []
+        )
+
+    def test_non_replica_address_is_clean(self):
+        assert (
+            _codes(
+                """
+                def peek(client, base):
+                    return client.read(base + 64, 48)
+                """
+            )
+            == []
+        )
+
+    def test_non_client_receiver_is_clean(self):
+        # A near-memory cache of replica frames is not a far read.
+        assert (
+            _codes(
+                """
+                def peek(cache, replica):
+                    return cache.read(replica, 48)
+                """
+            )
+            == []
+        )
+
+    def test_suppression_escape(self):
+        assert (
+            _codes(
+                """
+                def scrub(client, replica):
+                    # fmlint: disable=FM006 (raw bytes wanted: CRC audit)
+                    return client.read(replica, 48)
+                """
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 

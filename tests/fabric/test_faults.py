@@ -1,9 +1,14 @@
 """Unit tests for the transient-fault injection fabric."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import Cluster
 from repro.fabric import (
+    FarCorruptionError,
     FarTimeoutError,
     FaultInjector,
     FaultPlan,
@@ -201,6 +206,193 @@ class TestDeterminism:
         first = drive()
         injector.reset()
         assert drive() == first
+
+
+class TestCorruption:
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule("corrupt", 0.5, bits=0)
+        with pytest.raises(ValueError):
+            FaultRule("corrupt", 0.5, span=0)
+
+    def test_corruption_is_silent_to_plain_reads(self, cluster):
+        """The dangerous half of the fault model: rotted bytes flow out of
+        an unverified read with no error at all."""
+        addr = cluster.allocator.alloc(64)
+        setup = raw_client(cluster)
+        setup.write(addr, b"\xaa" * 64)
+        cluster.inject_faults(
+            seed=3, plan=FaultPlan().corrupt_at(1, bits=1, span=8)
+        )
+        c = raw_client(cluster)
+        c.read_u64(addr)  # access 0: clean
+        rotted = c.read(addr, 64)  # access 1: rots, then reads
+        assert rotted != b"\xaa" * 64  # wrong bytes, zero errors raised
+        assert c.metrics.far_accesses == 2
+
+    def test_verified_read_detects_certain_corruption(self, cluster):
+        addr = cluster.allocator.alloc(256)
+        c = raw_client(cluster)
+        c.write_framed(addr, b"x" * 32, version=1)
+        # span=8 pins the flips inside the stored CRC word, and an odd
+        # bit count cannot cancel itself out: detection is certain.
+        injector = cluster.inject_faults(
+            seed=5, plan=FaultPlan().corrupt_at(0, bits=3, span=8)
+        )
+        with pytest.raises(FarCorruptionError):
+            c.read_verified(addr, 32)
+        assert injector.stats.corruptions_injected == 1
+        assert injector.stats.bits_flipped == 3
+        assert c.metrics.verify_misses == 1
+
+    def test_verified_read_heals_from_fallback(self, cluster):
+        a = cluster.allocator.alloc(256)
+        b = cluster.allocator.alloc(256)
+        c = raw_client(cluster)
+        c.write_framed(a, b"payload!" * 4, version=7)
+        c.write_framed(b, b"payload!" * 4, version=7)
+        cluster.inject_faults(
+            seed=5, plan=FaultPlan().corrupt_at(0, bits=1, span=8)
+        )
+        snap = c.metrics.snapshot()
+        version, payload = c.read_verified(a, 32, fallback=(b,))
+        delta = c.metrics.delta(snap)
+        assert (version, payload) == (7, b"payload!" * 4)
+        # Exactly one extra far access for the verify-miss: rotten read + re-read.
+        assert delta.far_accesses == 2
+        assert delta.verify_misses == 1
+        assert delta.verified_reads == 2
+
+    def test_corruption_applies_even_when_read_fails_over(self, cluster):
+        """Rot lands before the op body runs, so it survives even when
+        the access itself dies for another reason."""
+        addr = cluster.allocator.alloc(64)
+        setup = raw_client(cluster)
+        setup.write_u64(addr, 0)
+        cluster.inject_faults(
+            seed=8,
+            plan=FaultPlan()
+            .corrupt_at(0, bits=1, span=8)
+            .timeout_at(0),
+        )
+        c = raw_client(cluster)
+        with pytest.raises(FarTimeoutError):
+            c.read_u64(addr)
+
+
+class TestTornWrites:
+    def test_torn_write_leaves_word_aligned_prefix(self, cluster):
+        addr = cluster.allocator.alloc(64)
+        setup = raw_client(cluster)
+        setup.write(addr, b"\x11" * 64)
+        injector = cluster.inject_faults(seed=2, plan=FaultPlan().torn_at(0))
+        c = raw_client(cluster)
+        with pytest.raises(FarTimeoutError) as excinfo:
+            c.write(addr, b"\x22" * 64)
+        assert excinfo.value.torn
+        injector.enabled = False
+        after = c.read(addr, 64)
+        assert after != b"\x11" * 64 or after != b"\x22" * 64
+        prefix = len(after) - len(after.lstrip(b"\x22"))
+        # Everything before the tear is new, everything after is old,
+        # and the boundary sits on a word.
+        assert after == b"\x22" * prefix + b"\x11" * (64 - prefix)
+        assert prefix % 8 == 0
+        assert injector.stats.torn_writes_injected == 1
+
+    def test_torn_rules_skip_non_write_kinds(self, cluster):
+        """A TORN rule never matches reads/atomics — and crucially draws
+        no RNG for them, so the schedule is workload-kind independent."""
+        addr = cluster.allocator.alloc(64)
+        injector = cluster.inject_faults(
+            seed=2, plan=FaultPlan().random_torn(1.0)
+        )
+        c = raw_client(cluster)
+        assert c.read_u64(addr) == 0
+        c.faa(addr, 1)
+        assert injector.stats.torn_writes_injected == 0
+        with pytest.raises(FarTimeoutError):
+            c.write(addr, b"\x01" * 16)
+
+    def test_retry_heals_the_tear(self, cluster):
+        """The client's normal retry ladder repairs a torn write: the
+        retried (full) write overwrites the partial prefix."""
+        addr = cluster.allocator.alloc(64)
+        cluster.inject_faults(seed=2, plan=FaultPlan().torn_at(0))
+        c = cluster.client(breaker_policy=None)  # retries on
+        c.write(addr, b"\x77" * 64)
+        assert c.read(addr, 64) == b"\x77" * 64
+        assert c.metrics.retries >= 1
+        assert c.metrics.timeouts >= 1
+
+    def test_torn_wscatter_tears_first_buffer_only(self, cluster):
+        a = cluster.allocator.alloc(64)
+        b = cluster.allocator.alloc(64)
+        setup = raw_client(cluster)
+        setup.write(a, b"\x11" * 32)
+        setup.write(b, b"\x11" * 32)
+        injector = cluster.inject_faults(seed=4, plan=FaultPlan().torn_at(0))
+        c = raw_client(cluster)
+        with pytest.raises(FarTimeoutError):
+            c.wscatter([(a, 32), (b, 32)], b"\x22" * 64)
+        injector.enabled = False
+        assert c.read(b, 32) == b"\x11" * 32  # second buffer never reached
+
+
+class TestFiveKindDeterminism:
+    """(seed, workload) → byte-identical fault schedule across all five
+    fault kinds, including the far bytes the faults left behind."""
+
+    PLAN_KINDS = ("timeout", "latency", "flaky", "corrupt", "torn")
+
+    def _run(self, seed):
+        cluster = Cluster(node_count=2, node_size=1 << 16)
+        injector = cluster.inject_faults(
+            seed=seed,
+            plan=FaultPlan()
+            .random_timeouts(0.15)
+            .random_spikes(0.05, multiplier=4.0)
+            .random_flaky(0.02, duration=3)
+            .random_corruption(0.1, bits=2, span=16)
+            .random_torn(0.15),
+        )
+        c = raw_client(cluster)
+        base = cluster.allocator.alloc(2048)
+        workload = random.Random(seed ^ 0xABCDEF)
+        outcomes = []
+        for i in range(150):
+            op = workload.randrange(3)
+            addr = base + workload.randrange(0, 1024) // 8 * 8
+            try:
+                if op == 0:
+                    c.write(addr, bytes([i % 256]) * 64)
+                    outcomes.append("w")
+                elif op == 1:
+                    outcomes.append(c.read(addr, 64))
+                else:
+                    outcomes.append(c.faa(addr, i))
+            except FarTimeoutError as err:
+                outcomes.append(("timeout", err.torn))
+        memory = b"".join(bytes(node._data) for node in cluster.fabric.nodes)
+        return outcomes, injector.stats.as_dict(), memory
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_replay_is_byte_identical(self, seed):
+        out1, stats1, mem1 = self._run(seed)
+        out2, stats2, mem2 = self._run(seed)
+        assert out1 == out2
+        assert stats1 == stats2
+        assert mem1 == mem2
+
+    def test_all_five_kinds_fire(self):
+        # One fixed seed that provably exercises every kind in the plan.
+        _, stats, _ = self._run(99)
+        assert stats["timeouts_injected"] > 0
+        assert stats["spikes_injected"] > 0
+        assert stats["corruptions_injected"] > 0
+        assert stats["torn_writes_injected"] > 0
+        assert stats["flaky_windows_opened"] > 0
 
 
 class TestInjectorPlumbing:

@@ -3,11 +3,13 @@
 import pytest
 
 from repro import Cluster
-from repro.fabric import BreakerPolicy, FaultPlan, RetryPolicy
+from repro.fabric import BreakerPolicy, FaultPlan, RetryPolicy, frame_size
 from repro.fabric.errors import (
     AddressError,
+    FarCorruptionError,
     FarTimeoutError,
     NodeUnavailableError,
+    StaleEpochError,
 )
 from repro.fabric.replication import ReplicatedRegion
 
@@ -22,6 +24,13 @@ def cluster():
 @pytest.fixture
 def region(cluster):
     return ReplicatedRegion.create(cluster.allocator, 256, copies=2)
+
+
+@pytest.fixture
+def framed(cluster):
+    return ReplicatedRegion.create_framed(
+        cluster.allocator, block_payload=64, block_count=8, copies=2
+    )
 
 
 class TestPlacement:
@@ -139,6 +148,167 @@ class TestFailover:
         assert cluster.fabric.read_word(region.replicas[0]) == cluster.fabric.read_word(
             region.replicas[1]
         )
+
+
+class TestFramedBlocks:
+    def test_create_validates(self, cluster):
+        with pytest.raises(ValueError):
+            ReplicatedRegion.create_framed(
+                cluster.allocator, block_payload=0, block_count=4
+            )
+        with pytest.raises(ValueError):
+            ReplicatedRegion.create_framed(
+                cluster.allocator, block_payload=64, block_count=0
+            )
+
+    def test_fresh_region_verifies(self, cluster, framed):
+        """Every block starts as a valid version-0 frame of zeros."""
+        c = cluster.client()
+        for index in range(framed.block_count):
+            assert framed.read_block(c, index) == b"\x00" * 64
+            assert framed.block_version(index) == 0
+
+    def test_roundtrip_and_version_bump(self, cluster, framed):
+        c = cluster.client()
+        framed.write_block(c, 3, b"v" * 64)
+        framed.write_block(c, 3, b"w" * 64)
+        assert framed.read_block(c, 3) == b"w" * 64
+        assert framed.block_version(3) == 2
+
+    def test_write_is_one_far_access(self, cluster, framed):
+        c = cluster.client()
+        snap = c.metrics.snapshot()
+        framed.write_block(c, 0, b"x" * 64)
+        # Unregistered: no fence read, one wscatter to both replicas.
+        assert c.metrics.delta(snap).far_accesses == 1
+
+    def test_payload_length_enforced(self, cluster, framed):
+        c = cluster.client()
+        with pytest.raises(ValueError):
+            framed.write_block(c, 0, b"short")
+
+    def test_block_index_bounds(self, cluster, framed):
+        c = cluster.client()
+        with pytest.raises(AddressError):
+            framed.read_block(c, 8)
+        with pytest.raises(AddressError):
+            framed.write_block(c, -1, b"x" * 64)
+
+    def test_block_io_needs_framed_region(self, cluster, region):
+        c = cluster.client()
+        with pytest.raises(ValueError):
+            region.read_block(c, 0)
+
+    def test_corrupt_primary_heals_from_secondary(self, cluster, framed):
+        c = cluster.client()
+        framed.write_block(c, 2, b"k" * 64)
+        offset = 2 * frame_size(64)
+        location = cluster.fabric.locate(framed.replicas[0] + offset)
+        cluster.fabric.nodes[location.node].corrupt_bit(location.offset + 5, 1)
+        snap = c.metrics.snapshot()
+        assert framed.read_block(c, 2) == b"k" * 64
+        delta = c.metrics.delta(snap)
+        assert delta.far_accesses == 2  # the verify-miss cost one re-read
+        assert delta.verify_misses == 1
+        assert framed.stats.verify_misses == 1
+
+    def test_all_copies_corrupt_raises_never_returns(self, cluster, framed):
+        c = cluster.client()
+        framed.write_block(c, 1, b"q" * 64)
+        offset = 1 * frame_size(64)
+        for replica in framed.replicas:
+            location = cluster.fabric.locate(replica + offset)
+            cluster.fabric.nodes[location.node].corrupt_bit(location.offset, 7)
+        with pytest.raises(FarCorruptionError):
+            framed.read_block(c, 1)
+
+    def test_dead_primary_fails_over(self, cluster, framed):
+        c = cluster.client()
+        framed.write_block(c, 0, b"d" * 64)
+        cluster.fabric.fail_node(cluster.fabric.node_of(framed.replicas[0]))
+        assert framed.read_block(c, 0) == b"d" * 64
+        assert framed.stats.failovers == 1
+
+    def test_torn_replicated_write_never_serves_garbage(self, cluster, framed):
+        """A torn wscatter rips replica 0's frame; the reader detects it
+        and serves the intact old value from replica 1 — the failed write
+        is cleanly not-applied, never half-applied."""
+        c = cluster.client(retry_policy=None, breaker_policy=None)
+        framed.write_block(c, 0, b"old!" * 16)
+        cluster.inject_faults(seed=6, plan=FaultPlan().torn_at(0))
+        with pytest.raises(FarTimeoutError):
+            framed.write_block(c, 0, b"new!" * 16)
+        result = framed.read_block(c, 0)
+        assert result in (b"old!" * 16, b"new!" * 16)  # never a mix
+        assert framed.block_version(0) == 1  # the failed write left no stamp
+
+
+class TestEpochFencing:
+    """Fence behaviour without a live coordinator: the region only needs
+    the epoch word. (Full repair protocol: tests/recovery/test_repair.py.)"""
+
+    def _register(self, cluster, region, client):
+        epoch_addr = cluster.allocator.alloc_words(1)
+        client.write_u64(epoch_addr, 1)
+        region.epoch_addr = epoch_addr
+        region.epoch = 1
+        region.region_id = 0
+        return epoch_addr
+
+    def test_fenced_write_costs_one_extra_access(self, cluster, framed):
+        c = cluster.client()
+        self._register(cluster, framed, c)
+        snap = c.metrics.snapshot()
+        framed.write_block(c, 0, b"f" * 64)
+        assert c.metrics.delta(snap).far_accesses == 2  # fence read + wscatter
+        assert framed.stats.fence_checks == 1
+
+    def test_stale_epoch_rejected_before_any_write(self, cluster, framed):
+        c = cluster.client()
+        epoch_addr = self._register(cluster, framed, c)
+        framed.write_block(c, 1, b"a" * 64)
+        c.write_u64(epoch_addr, 2)  # the world moves on
+        with pytest.raises(StaleEpochError) as excinfo:
+            framed.write_block(c, 1, b"b" * 64)
+        assert excinfo.value.held == 1
+        assert excinfo.value.current == 2
+        assert framed.read_block(c, 1) == b"a" * 64  # nothing was written
+        assert framed.stats.fence_rejects == 1
+        assert c.metrics.fence_rejects == 1
+
+    def test_plain_write_is_fenced_too(self, cluster, region):
+        c = cluster.client()
+        epoch_addr = self._register(cluster, region, c)
+        region.write_word(c, 0, 1)
+        c.write_u64(epoch_addr, 5)
+        with pytest.raises(StaleEpochError):
+            region.write_word(c, 0, 2)
+
+    def test_reads_are_never_fenced(self, cluster, framed):
+        c = cluster.client()
+        epoch_addr = self._register(cluster, framed, c)
+        framed.write_block(c, 0, b"r" * 64)
+        c.write_u64(epoch_addr, 9)
+        # Reads serve stale-epoch holders fine: fencing protects writes.
+        assert framed.read_block(c, 0) == b"r" * 64
+
+    def test_unregistered_region_pays_nothing(self, cluster, framed):
+        c = cluster.client()
+        framed.write_block(c, 0, b"u" * 64)
+        assert framed.stats.fence_checks == 0
+
+    def test_clone_view_is_independent(self, cluster, framed):
+        c = cluster.client()
+        self._register(cluster, framed, c)
+        framed.write_block(c, 0, b"1" * 64)
+        view = framed.clone_view()
+        assert view.replicas == framed.replicas
+        assert view.epoch == framed.epoch
+        assert view.block_version(0) == 1
+        view.replicas[0] = 0xDEAD  # mutating the clone...
+        assert framed.replicas[0] != 0xDEAD  # ...never touches the original
+        view.stats.writes += 1
+        assert framed.stats.writes == 1
 
 
 class TestTimeoutFailover:

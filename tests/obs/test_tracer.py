@@ -325,3 +325,108 @@ class TestNotifyAndProfiler:
         puts = tracer.spans_by_label("httree.put")
         assert len(puts) == 8
         assert all(p.parent_id == span.span_id for p in puts)
+
+
+class TestIntegrityAndRepairEvents:
+    def _integrity_workload(self, traced):
+        from repro.fabric.replication import ReplicatedRegion
+        from repro.recovery import RepairCoordinator
+
+        cluster = Cluster(node_count=4, node_size=8 << 20)
+        client = cluster.client("app")
+        tracer = None
+        if traced:
+            tracer = Tracer()
+            tracer.attach(client)
+        region = ReplicatedRegion.create_framed(
+            cluster.allocator, block_payload=32, block_count=6, copies=2
+        )
+        coordinator = RepairCoordinator(
+            cluster.allocator, home_node=3, chunk_blocks=4
+        )
+        coordinator.register(client, region)
+        for index in range(6):
+            region.write_block(client, index, bytes([index]) * 32)
+        # Rot block 0 on the primary: the read detects and heals.
+        location = cluster.fabric.locate(region.replicas[0])
+        cluster.fabric.nodes[location.node].corrupt_bit(location.offset + 9, 4)
+        stale = region.clone_view()
+        assert region.read_block(client, 0) == b"\x00" * 32
+        dead = cluster.fabric.node_of(region.replicas[0])
+        cluster.fabric.fail_node(dead)
+        coordinator.run(client, dead)
+        try:
+            stale.write_block(client, 1, b"s" * 32)
+        except FabricError:
+            pass
+        return client.metrics, client.clock, tracer
+
+    def test_zero_observer_effect_on_integrity_paths(self):
+        bare_metrics, bare_clock, _ = self._integrity_workload(traced=False)
+        traced_metrics, traced_clock, _ = self._integrity_workload(traced=True)
+        assert traced_metrics.as_dict() == bare_metrics.as_dict()
+        assert traced_clock.now_ns == bare_clock.now_ns
+
+    def test_events_and_summary_lines(self):
+        _, _, tracer = self._integrity_workload(traced=True)
+        tracer.finish()
+
+        rot = tracer.events_by_kind("corruption_detected")
+        assert len(rot) == 1
+        assert rot[0].data["payload_len"] == 32
+
+        copies = tracer.events_by_kind("repair_copy")
+        assert copies  # chunked: 6 blocks in chunks of 4 -> 2 events
+        assert copies[-1].data["done"] == copies[-1].data["total"] == 6
+        assert sum(e.data["blocks"] for e in copies) == 6
+
+        fences = tracer.events_by_kind("fence_reject")
+        assert len(fences) == 1
+        assert fences[0].data["held"] == 1
+        assert fences[0].data["current"] == 2
+
+        summary = tracer.summary()
+        assert "integrity: corruption_detected=1" in summary
+        assert "fence_rejects=1" in summary
+        assert "repair: region 0" in summary
+        assert "6/6 blocks" in summary
+
+    def test_torn_write_event_carries_attempts(self):
+        cluster = Cluster(node_count=1, node_size=8 << 20)
+        cluster.inject_faults(seed=2, plan=FaultPlan().torn_at(0))
+        client = cluster.client("w", breaker_policy=None)  # retries on
+        tracer = Tracer()
+        tracer.attach(client)
+        addr = cluster.allocator.alloc(64)
+        client.write(addr, b"\x55" * 64)  # torn once, healed by retry
+        tracer.finish()
+        torn = tracer.events_by_kind("torn_write")
+        assert len(torn) == 1
+        assert torn[0].data["op"] == "write"
+        assert torn[0].data["attempt"] == 1
+        assert "torn_writes=1" in tracer.summary()
+
+    def test_breaker_state_line(self):
+        from repro.fabric import BreakerPolicy
+
+        cluster = Cluster(node_count=2, node_size=8 << 20)
+        cluster.inject_faults(
+            seed=3, plan=FaultPlan().random_timeouts(1.0, node=0)
+        )
+        client = cluster.client(
+            "b",
+            retry_policy=RetryPolicy(max_attempts=2),
+            breaker_policy=BreakerPolicy(failure_threshold=2, cooldown_ns=1e12),
+        )
+        tracer = Tracer()
+        tracer.attach(client)
+        addr = cluster.allocator.alloc(64)
+        for _ in range(3):
+            try:
+                client.read_u64(addr)
+            except FabricError:
+                pass
+        tracer.finish()
+        summary = tracer.summary()
+        assert "breaker: b node0 state=open" in summary
+        assert "trips=1" in summary

@@ -13,7 +13,7 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
-FAST = ["quickstart.py", "fault_tolerance.py", "lost_update.py"]
+FAST = ["quickstart.py", "fault_tolerance.py", "lost_update.py", "node_repair.py"]
 SLOW = [
     "monitoring.py",
     "parameter_server.py",
