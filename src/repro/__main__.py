@@ -16,6 +16,9 @@
   nonzero on any declared-ceiling violation.
 * ``python -m repro races <trace.jsonl>`` — happens-before race
   detection over an exported JSONL trace; nonzero on plain-access races.
+* ``python -m repro topology`` — dump a cluster's extent table (extent →
+  node, epoch, heat, replica groups; ``--json`` for machine form;
+  ``--demo`` first exercises add/migrate/drain so the dump shows remaps).
 """
 
 from __future__ import annotations
@@ -187,6 +190,73 @@ def _races(path: str) -> int:
     return 1 if report.errors else 0
 
 
+def _topology(
+    nodes: int,
+    node_size: int,
+    extent_size: Optional[int],
+    as_json: bool,
+    demo: bool,
+    max_extents: int,
+) -> int:
+    cluster = Cluster(node_count=nodes, node_size=node_size, extent_size=extent_size)
+    if demo:
+        # Make the dump show the machinery: heat, elastic growth, a live
+        # migration's remap + epoch bump, and a drained node.
+        client = cluster.client("topo-demo")
+        vec = cluster.far_vector(4096)
+        for i in range(512):
+            vec.set(client, i % 64, i)
+        spare = cluster.add_node()
+        hot = cluster.fabric.extents.extents_on_node(0)[0]
+        cluster.migration.migrate_extent(client, hot, spare)
+        cluster.drain_node(nodes - 1, client)
+    dump = cluster.topology()
+    if as_json:
+        import json
+
+        print(json.dumps(dump, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"virtual address space: {dump['virtual_size']} bytes in "
+        f"{dump['extent_count']} extents of {dump['extent_size']} bytes "
+        f"({dump['remapped']} remapped, {len(dump['migrating'])} migrating)"
+    )
+    print(f"forwards={dump['forwards_total']} fences={dump['fences_total']}\n")
+    print("node  size       extents  free_slots  heat    drained")
+    print("-" * 55)
+    for row in dump["nodes"]:
+        print(
+            f"{row['node']:<5} {row['size']:<10} {row['extents']:<8} "
+            f"{row['free_slots']:<11} {row['heat']:<7} "
+            f"{'yes' if row['drained'] else ''}"
+        )
+    print("\nextent  base        node  slot  epoch  heat   state      replicas")
+    print("-" * 70)
+    shown = 0
+    for row in dump["extents"]:
+        interesting = (
+            row["remapped"]
+            or row["heat"]
+            or row["epoch"] != 1
+            or row["state"] != "active"
+            or row["replica_groups"]
+        )
+        if shown >= max_extents and not interesting:
+            continue
+        flag = "*" if row["remapped"] else " "
+        groups = ",".join(row["replica_groups"])
+        print(
+            f"{row['extent']:<7} 0x{row['base']:<9x} {row['node']:<5} "
+            f"{row['slot']:<5} {row['epoch']:<6} {row['heat']:<6} "
+            f"{row['state']:<9}{flag} {groups}"
+        )
+        shown += 1
+    hidden = len(dump["extents"]) - shown
+    if hidden > 0:
+        print(f"... {hidden} cold unremapped extent(s) elided (--all to show)")
+    return 0
+
+
 def _validate(path: str) -> int:
     problems = validate_chrome_trace(load_chrome_trace(path))
     if problems:
@@ -243,6 +313,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="happens-before race detection over a .trace.jsonl export",
     )
     races_parser.add_argument("trace_jsonl", help="path to a .trace.jsonl file")
+    topology_parser = sub.add_parser(
+        "topology",
+        help="dump the extent table (virtual address space topology)",
+    )
+    topology_parser.add_argument(
+        "--nodes", type=int, default=2, help="memory node count (default: 2)"
+    )
+    topology_parser.add_argument(
+        "--node-size",
+        type=int,
+        default=4 << 20,
+        help="bytes per node (default: 4 MiB)",
+    )
+    topology_parser.add_argument(
+        "--extent-size", type=int, default=None, help="extent size override"
+    )
+    topology_parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON dump"
+    )
+    topology_parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="exercise add_node/migrate/drain first, so the dump shows remaps",
+    )
+    topology_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="show every extent row (default: elide cold unremapped ones)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "trace":
@@ -255,6 +354,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _sanitize(args.target, strict=not args.no_strict)
     if args.command == "races":
         return _races(args.trace_jsonl)
+    if args.command == "topology":
+        return _topology(
+            args.nodes,
+            args.node_size,
+            args.extent_size,
+            args.json,
+            args.demo,
+            max_extents=1 << 30 if args.all else 32,
+        )
     return _demo()
 
 

@@ -5,11 +5,15 @@ sorted free list with first-fit allocation and coalescing on free, and
 honours :class:`~repro.alloc.locality.PlacementHint` by constraining the
 search to ranges on the hinted node (section 7.1).
 
-Node targeting only makes sense when a node owns contiguous global ranges
-(:class:`~repro.fabric.address.RangePlacement`). Under interleaved
-placement every allocation is inherently striped, so node hints degrade to
-plain allocation (with a counter recording that the hint was unsatisfiable,
-so benchmarks can report it).
+Node targeting only makes sense when the initial layout gives nodes
+contiguous virtual ranges (``fabric.supports_node_hints``, true for
+:class:`~repro.fabric.address.RangePlacement`). Under interleaved layouts
+every allocation is inherently striped, so node hints degrade to plain
+allocation (with a counter recording that the hint was unsatisfiable, so
+benchmarks can report it). Addresses are *virtual* (PR 7): a hint pins
+the allocation-time placement, but live migration may later move the
+extents — per-block accounting therefore remembers the allocation-time
+node rather than re-deriving it at free time.
 
 Allocation metadata (sizes of live blocks) is kept client-side in the
 allocator, not in far memory: the paper's data structures carry their own
@@ -22,7 +26,6 @@ from __future__ import annotations
 from bisect import insort
 from dataclasses import dataclass, field
 
-from ..fabric.address import RangePlacement
 from ..fabric.errors import AllocationError
 from ..fabric.fabric import Fabric
 from ..fabric.wire import align_up
@@ -65,7 +68,10 @@ class FarAllocator:
         # Sorted list of (start, size) free ranges, non-overlapping,
         # non-adjacent (adjacent ranges are coalesced).
         self._free: list[tuple[int, int]] = [(low, total - low)]
-        self._live: dict[int, int] = {}
+        # address -> (size, allocation-time node). The node is recorded
+        # because migration can move the bytes later; per-node accounting
+        # tracks where the allocator *placed* them.
+        self._live: dict[int, tuple[int, int]] = {}
         self._spread_cursor = 0
         self.stats = AllocStats()
 
@@ -86,11 +92,14 @@ class FarAllocator:
         hint = hint or _DEFAULT_HINT
         target_node = self._resolve_node(hint)
         address = self._carve(size, hint.alignment, target_node, hint.anti_near)
-        self._live[address] = size
+        # Allocation-time placement decision; the node is recorded
+        # per-block and never re-derived after migration.
+        # fmlint: disable=FM007 — allocation-time placement, recorded per-block
+        node = self.fabric.node_of(address)
+        self._live[address] = (size, node)
         self.stats.allocations += 1
         self.stats.live_blocks += 1
         self.stats.live_bytes += size
-        node = self.fabric.node_of(address)
         self.stats.per_node_bytes[node] = self.stats.per_node_bytes.get(node, 0) + size
         return address
 
@@ -99,17 +108,20 @@ class FarAllocator:
         return self.alloc(count * 8, hint)
 
     def _resolve_node(self, hint: PlacementHint) -> int | None:
-        range_placed = isinstance(self.fabric.placement, RangePlacement)
+        hintable = self.fabric.supports_node_hints
         if hint.node is not None or hint.near is not None or hint.spread:
-            if not range_placed:
+            if not hintable:
                 self.stats.hint_unsatisfiable += 1
                 return None
         if hint.node is not None:
             return hint.node
         if hint.near is not None:
+            # Resolving a locality hint at allocation time is exactly
+            # what the hint asks for.
+            # fmlint: disable=FM007 — locality-hint resolution at alloc time
             return self.fabric.node_of(hint.near)
-        if hint.spread and range_placed:
-            node = self._spread_cursor % self.fabric.placement.node_count
+        if hint.spread and hintable:
+            node = self._spread_cursor % self.fabric.node_count
             self._spread_cursor += 1
             return node
         return None
@@ -118,8 +130,9 @@ class FarAllocator:
         self, size: int, alignment: int, node: int | None, anti_near: int | None
     ) -> int:
         avoid_node = (
+            # fmlint: disable=FM007 — anti-affinity hint resolution at alloc time
             self.fabric.node_of(anti_near)
-            if anti_near is not None and isinstance(self.fabric.placement, RangePlacement)
+            if anti_near is not None and self.fabric.supports_node_hints
             else None
         )
         for i, (start, free_size) in enumerate(self._free):
@@ -133,6 +146,7 @@ class FarAllocator:
                     continue
                 base = base2
                 pad = base - start
+            # fmlint: disable=FM007 (placement check at allocation time)
             if avoid_node is not None and self.fabric.node_of(base) == avoid_node:
                 base2 = self._first_fit_avoiding(start, free_size, size, alignment, avoid_node)
                 if base2 is None:
@@ -147,27 +161,31 @@ class FarAllocator:
         raise AllocationError(f"no free range of {size} bytes{where}")
 
     def _fits_on_node(self, base: int, size: int, node: int) -> bool:
+        # fmlint: disable=FM007 (hinted placement check at allocation time)
         if self.fabric.node_of(base) != node:
             return False
-        return self.fabric.placement.contiguous_extent(base) >= size
+        return self.fabric.extents.same_node_span(base, limit=size) >= size
 
     def _first_fit_on_node(
         self, start: int, free_size: int, size: int, alignment: int, node: int
     ) -> int | None:
-        """Scan one free range for an aligned sub-range on ``node``."""
-        placement = self.fabric.placement
-        node_start = node * placement.node_size
-        node_end = node_start + placement.node_size
-        base = align_up(max(start, node_start), alignment)
-        if base + size <= min(start + free_size, node_end):
-            return base
+        """Scan one free range for an aligned sub-range on ``node``.
+
+        Node-owned virtual ranges come from the extent table (on a clean
+        range layout: one run per node, the legacy contiguous range), so
+        hints keep working after extents migrate.
+        """
+        end = start + free_size
+        for run_start, run_len in self.fabric.extents.node_extent_runs(node):
+            base = align_up(max(start, run_start), alignment)
+            if base + size <= min(end, run_start + run_len):
+                return base
         return None
 
     def _first_fit_avoiding(
         self, start: int, free_size: int, size: int, alignment: int, avoid: int
     ) -> int | None:
-        placement = self.fabric.placement
-        for node in range(placement.node_count):
+        for node in range(self.fabric.node_count):
             if node == avoid:
                 continue
             base = self._first_fit_on_node(start, free_size, size, alignment, node)
@@ -191,16 +209,34 @@ class FarAllocator:
 
     def free(self, address: int) -> None:
         """Return a block to the free list, coalescing with neighbours."""
-        size = self._live.pop(address, None)
-        if size is None:
+        entry = self._live.pop(address, None)
+        if entry is None:
             raise AllocationError(f"free of unallocated address 0x{address:x}")
+        size, node = entry
         self.stats.frees += 1
         self.stats.live_blocks -= 1
         self.stats.live_bytes -= size
-        node = self.fabric.node_of(address)
+        # Decrement against the allocation-time node: the block may have
+        # migrated since, and the per-node ledger must stay balanced.
         self.stats.per_node_bytes[node] -= size
         insort(self._free, (address, size))
         self._coalesce_around(address)
+
+    # ------------------------------------------------------------------
+    # Elastic growth (Cluster.add_node with grow=True)
+    # ------------------------------------------------------------------
+
+    def grow(self, additional: int) -> None:
+        """Adopt ``additional`` bytes just appended to the top of the
+        virtual address space (``fabric.add_node(grow_virtual=True)``)."""
+        if additional <= 0:
+            raise AllocationError("grow requires a positive byte count")
+        total = self.fabric.total_size
+        if additional > total:
+            raise AllocationError("grow exceeds the virtual address space")
+        start = total - additional
+        insort(self._free, (start, additional))
+        self._coalesce_around(start)
 
     def _coalesce_around(self, address: int) -> None:
         idx = next(i for i, (start, _) in enumerate(self._free) if start == address)
@@ -226,7 +262,7 @@ class FarAllocator:
     def size_of(self, address: int) -> int:
         """Size of the live block at ``address``."""
         try:
-            return self._live[address]
+            return self._live[address][0]
         except KeyError:
             raise AllocationError(f"0x{address:x} is not a live allocation") from None
 

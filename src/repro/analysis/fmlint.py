@@ -24,6 +24,10 @@ FM005     nondeterministic-source wall-clock time or an unseeded global RNG
 FM006     unverified-replicated-read a raw client read addressed via a replica
                                   pointer — replicated data carries checksum
                                   frames; read it via read_verified()/read_block()
+FM007     physical-placement-leak ``fabric.node_of()``/``fabric.locate()`` or a
+                                  hand-built ``Location(...)`` outside the
+                                  translation/repair/migration layers — physical
+                                  coordinates go stale on the next migration
 ========  ======================  ==============================================
 
 Suppressions
@@ -41,8 +45,12 @@ visible instead of silently normalized.
 
 The public API is :func:`lint_source` / :func:`lint_file` /
 :func:`lint_paths`; ``python -m repro lint`` is the CLI. Files under
-``repro/fabric/`` are exempt from FM003 and FM006 — they *are* the
-metering layer and the verified-read implementation.
+``repro/fabric/`` are exempt from FM003, FM006, and FM007 — they *are*
+the metering layer, the verified-read implementation, and the
+virtual-to-physical translation layer. ``repro/recovery/`` and
+``repro/migration/`` are exempt from FM007 only: repair and live
+migration move bytes between physical homes, so resolving placement is
+their job, not a leak.
 """
 
 from __future__ import annotations
@@ -192,8 +200,19 @@ RULES: dict[str, Rule] = {
             "bytes unchecked; corruption flows silently — use "
             "read_verified() or the region's read_block()",
         ),
+        Rule(
+            "FM007",
+            "physical-placement-leak",
+            "resolving or storing a physical location (fabric.node_of / "
+            "fabric.locate / Location(...)) outside the translation layer; "
+            "the answer goes stale on the next migration",
+        ),
     )
 }
+
+#: Translation queries FM007 watches: they return *physical* coordinates,
+#: valid only for the duration of one operation once extents can migrate.
+_PLACEMENT_QUERY_OPS = frozenset({"node_of", "locate"})
 
 #: Client read-family ops FM006 watches: these return far bytes (or a
 #: word decoded from them) without consulting any checksum.
@@ -431,6 +450,31 @@ class _Checker(ast.NodeVisitor):
                     "metrics, no budget, no trace; issue it through a "
                     "client (or suppress for one-time provisioning)",
                 )
+            # FM007: physical placement resolved outside the translation
+            # layer. Addresses are virtual; a cached (node, offset) answer
+            # is invalidated by the next extent migration.
+            if name in _PLACEMENT_QUERY_OPS and self._is_fabric_receiver(
+                node.func
+            ):
+                self._emit(
+                    node,
+                    "FM007",
+                    f"fabric.{name}() resolves a physical location outside "
+                    "the translation layer; the answer is only valid for "
+                    "one operation — live migration remaps extents under "
+                    "you (suppress for allocation-time placement decisions)",
+                )
+        elif isinstance(node.func, ast.Name) and node.func.id == "Location":
+            # Constructing (and implicitly storing) a Location by hand is
+            # the other half of the same leak.
+            self._emit(
+                node,
+                "FM007",
+                "Location(...) constructed outside the translation layer; "
+                "physical coordinates must not outlive one operation once "
+                "extents can migrate",
+            )
+        if isinstance(node.func, ast.Attribute):
             # FM006: client.read(replica + off, ...) — the address names a
             # replica, so the bytes came from replicated (hence framed)
             # storage, but nothing checked the frame.
@@ -615,8 +659,14 @@ def _exempt_codes(path: str) -> set[str]:
         # The fabric layer IS the metering boundary, and replication.py's
         # verified paths are where replica-addressed raw reads are legal
         # (read() is the documented unverified fallback; read_block() is
-        # built from them).
-        return {"FM003", "FM006"}
+        # built from them). It is also the translation layer itself, so
+        # FM007's "outside the translation layer" premise does not apply.
+        return {"FM003", "FM006", "FM007"}
+    if "repro/recovery/" in normalized or "repro/migration/" in normalized:
+        # Repair and migration are the two sanctioned physical-placement
+        # consumers: they move bytes *between* physical homes, so they
+        # must resolve node identities by design.
+        return {"FM007"}
     return set()
 
 

@@ -8,7 +8,7 @@ factories for clients and for every far-memory data structure in
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .alloc import FarAllocator, PlacementHint
 from .fabric import (
@@ -16,13 +16,15 @@ from .fabric import (
     CostModel,
     Fabric,
     IndirectionPolicy,
-    InterleavedPlacement,
     Metrics,
     Placement,
-    RangePlacement,
     aggregate,
+    make_placement,
 )
 from .notify import DeliveryPolicy, NotificationManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .migration import DrainReport, MigrationCoordinator, RebalanceReport
 
 
 class Cluster:
@@ -38,24 +40,26 @@ class Cluster:
         cost_model: Optional[CostModel] = None,
         indirection_policy: IndirectionPolicy = IndirectionPolicy.FORWARD,
         delivery_policy: Optional[DeliveryPolicy] = None,
+        placement: Optional[Placement] = None,
+        extent_size: Optional[int] = None,
     ) -> None:
-        placement: Placement
-        if interleaved:
-            placement = InterleavedPlacement(
-                node_count=node_count,
-                node_size=node_size,
+        if placement is None:
+            placement = make_placement(
+                node_count,
+                node_size,
+                interleaved=interleaved,
                 granularity=interleave_granularity,
             )
-        else:
-            placement = RangePlacement(node_count=node_count, node_size=node_size)
         self.fabric = Fabric(
             placement,
             cost_model=cost_model,
             indirection_policy=indirection_policy,
+            extent_size=extent_size,
         )
         self.allocator = FarAllocator(self.fabric)
         self.notifications = NotificationManager(self.fabric, delivery_policy)
         self.clients: list[Client] = []
+        self._migration: Optional["MigrationCoordinator"] = None
 
     # ------------------------------------------------------------------
     # Clients and cluster-wide accounting
@@ -83,6 +87,65 @@ class Cluster:
         injector = FaultInjector(seed, plan=plan)
         self.fabric.set_fault_injector(injector)
         return injector
+
+    # ------------------------------------------------------------------
+    # Elastic membership and live migration (PR 7)
+    # ------------------------------------------------------------------
+
+    @property
+    def migration(self) -> "MigrationCoordinator":
+        """The lazily-created migration coordinator for this cluster."""
+        if self._migration is None:
+            from .migration import MigrationCoordinator
+
+            self._migration = MigrationCoordinator(self.fabric)
+        return self._migration
+
+    def add_node(
+        self, node_size: Optional[int] = None, *, grow: bool = False
+    ) -> int:
+        """Add a memory node; returns its id.
+
+        By default the node is migration headroom (free physical slots the
+        coordinator can stage extents into). With ``grow=True`` the virtual
+        address space extends over the new node and the allocator adopts
+        the fresh range immediately.
+        """
+        before = self.fabric.total_size
+        node_id = self.fabric.add_node(node_size, grow_virtual=grow)
+        grown = self.fabric.total_size - before
+        if grown:
+            self.allocator.grow(grown)
+        return node_id
+
+    def drain_node(
+        self, node: int, client: Optional[Client] = None, **kwargs
+    ) -> "DrainReport":
+        """Live-migrate every extent off ``node`` and retire it.
+
+        The copy round trips are charged to ``client`` (a dedicated
+        maintenance client is created if none is given). Keyword arguments
+        (``policy``, ``interleave``) pass through to
+        :meth:`~repro.migration.MigrationCoordinator.drain_node`.
+        """
+        if client is None:
+            client = self.client("drain")
+        return self.migration.drain_node(client, node, **kwargs)
+
+    def rebalance(
+        self, client: Optional[Client] = None, **kwargs
+    ) -> "RebalanceReport":
+        """One heat-driven rebalance pass (see :mod:`repro.migration`)."""
+        from .migration import Rebalancer
+
+        if client is None:
+            client = self.client("rebalance")
+        return Rebalancer(self.migration, **kwargs).run(client)
+
+    def topology(self) -> dict[str, object]:
+        """Extent-table dump: extent → node mapping, epochs, heat,
+        replica groups, per-node occupancy (the ``repro topology`` CLI)."""
+        return self.fabric.extents.dump()
 
     def total_metrics(self) -> Metrics:
         """Sum of all registered clients' metrics."""
@@ -190,6 +253,6 @@ class Cluster:
 
     def __repr__(self) -> str:
         return (
-            f"Cluster(nodes={self.fabric.placement.node_count}, "
+            f"Cluster(nodes={self.fabric.node_count}, "
             f"clients={len(self.clients)})"
         )

@@ -13,10 +13,17 @@ from .address import (
     Location,
     Placement,
     RangePlacement,
+    make_placement,
     page_of,
     same_page,
 )
 from .client import Client
+from .extent import (
+    DEFAULT_EXTENT_SIZE,
+    ExtentMigrationState,
+    ExtentTable,
+    MigrationWritePolicy,
+)
 from .errors import (
     AddressError,
     AlignmentError,
@@ -72,9 +79,14 @@ __all__ = [
     "Location",
     "Placement",
     "RangePlacement",
+    "make_placement",
     "page_of",
     "same_page",
     "Client",
+    "DEFAULT_EXTENT_SIZE",
+    "ExtentMigrationState",
+    "ExtentTable",
+    "MigrationWritePolicy",
     "AddressError",
     "AlignmentError",
     "AllocationError",

@@ -35,7 +35,17 @@ class Location:
 
 
 class Placement(ABC):
-    """Maps the global address space onto (node, offset) pairs."""
+    """Initial-layout policy for the virtual far address space.
+
+    Historically the placement *was* the address map; it is now the
+    formula the per-fabric :class:`~repro.fabric.extent.ExtentTable`
+    seeds its identity mapping from, and translation goes through the
+    table so extents can move at runtime.
+    """
+
+    supports_node_hints = False
+    """Whether allocation-time node hints are meaningful under this layout
+    (contiguous per-node ranges yes; fine-grained striping no)."""
 
     def __init__(self, node_count: int, node_size: int) -> None:
         if node_count <= 0:
@@ -102,6 +112,8 @@ class Placement(ABC):
 class RangePlacement(Placement):
     """Node ``i`` owns the contiguous range ``[i * node_size, (i+1) * node_size)``."""
 
+    supports_node_hints = True
+
     def locate(self, address: int) -> Location:
         self.check(address, 1)
         return Location(node=address // self._node_size, offset=address % self._node_size)
@@ -157,6 +169,25 @@ class InterleavedPlacement(Placement):
     def contiguous_extent(self, address: int) -> int:
         self.check(address, 1)
         return self._granularity - (address % self._granularity)
+
+
+def make_placement(
+    node_count: int,
+    node_size: int,
+    *,
+    interleaved: bool = False,
+    granularity: int = PAGE_SIZE,
+) -> Placement:
+    """The one place initial layouts are constructed.
+
+    ``Cluster``, the benchmark helpers, fixtures, and the topology CLI
+    all route through here so layout defaults cannot drift apart.
+    """
+    if interleaved:
+        return InterleavedPlacement(
+            node_count=node_count, node_size=node_size, granularity=granularity
+        )
+    return RangePlacement(node_count=node_count, node_size=node_size)
 
 
 def page_of(address: int) -> int:

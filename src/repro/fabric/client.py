@@ -593,6 +593,16 @@ class Client:
         """Write one 64-bit word (one far access)."""
         return self._submit("write_u64", (address, value), {}, tracked=False).result()
 
+    def write_phys(self, node: int, offset: int, data: bytes) -> None:
+        """Raw physical write to a migration staging slot: one far access.
+
+        Migration-engine only (the destination slot has no virtual
+        address until its remap commits). Charged and traced like any far
+        write, but addressed ``(node, offset)`` — the NIC-to-NIC DMA leg
+        of a live copy.
+        """
+        return self._submit("write_phys", (node, offset, data), {}, tracked=False).result()
+
     def cas(self, address: int, expected: int, new: int) -> tuple[int, bool]:
         """Atomic compare-and-swap (one far access)."""
         return self._submit(
@@ -660,6 +670,24 @@ class Client:
 
     def _op_write(self, address: int, data: bytes) -> None:
         result = self._issue(address, self.fabric.write, address, bytes(data))
+        # forward_hops is nonzero only while the target extent is mid-
+        # migration under the FORWARD policy: the already-copied prefix is
+        # mirrored to the new home, one §7.1-style hop per mirrored range.
+        self._account_far(
+            nbytes_written=len(data),
+            segments=result.segments,
+            forward_hops=result.forward_hops,
+        )
+
+    def _op_write_phys(self, node: int, offset: int, data: bytes) -> None:
+        # Physically addressed, so it skips _issue's virtual-address
+        # machinery (fault rules, breakers, and retries key on virtual
+        # addresses; the staging slot has none yet). Node failure still
+        # surfaces as NodeUnavailableError from the fabric.
+        if self._tracer is not None:
+            self._trace_node = node
+            self._trace_addr = None
+        result = self.fabric.write_phys(node, offset, bytes(data))
         self._account_far(nbytes_written=len(data), segments=result.segments)
 
     def _op_read_u64(self, address: int) -> int:

@@ -26,6 +26,7 @@ from typing import Optional, Protocol
 
 from .address import Location, Placement, RangePlacement
 from .errors import RemoteIndirectionError
+from .extent import ExtentTable
 from .latency import CostModel
 from .memory_node import MemoryNode
 from .primitives import FarPrimitivesMixin
@@ -74,12 +75,14 @@ class Fabric(FarPrimitivesMixin):
         *,
         node_count: int = 1,
         node_size: int = 64 << 20,
+        extent_size: Optional[int] = None,
         cost_model: Optional[CostModel] = None,
         indirection_policy: IndirectionPolicy = IndirectionPolicy.FORWARD,
     ) -> None:
         if placement is None:
             placement = RangePlacement(node_count=node_count, node_size=node_size)
-        self.placement = placement
+        self.placement = placement  # initial-layout policy only; see self.extents
+        self.extents = ExtentTable(placement, extent_size=extent_size)
         self.cost_model = cost_model or CostModel()
         self.indirection_policy = indirection_policy
         self.nodes = [
@@ -98,8 +101,39 @@ class Fabric(FarPrimitivesMixin):
 
     @property
     def total_size(self) -> int:
-        """Total far memory bytes in the pool."""
-        return self.placement.total_size
+        """Total virtual far memory bytes in the pool."""
+        return self.extents.virtual_size
+
+    @property
+    def node_count(self) -> int:
+        """Number of memory nodes currently in the pool (grows elastically)."""
+        return len(self.nodes)
+
+    @property
+    def supports_node_hints(self) -> bool:
+        """Whether allocation-time node hints make sense under the initial layout."""
+        return self.placement.supports_node_hints
+
+    def check(self, address: int, length: int) -> None:
+        """Validate a virtual range against the current address space."""
+        self.extents.check(address, length)
+
+    def split(self, address: int, length: int) -> list[tuple[Location, int]]:
+        """Split a virtual range into physically contiguous segments."""
+        return self.extents.split(address, length)
+
+    def add_node(self, node_size: Optional[int] = None, *, grow_virtual: bool = False) -> int:
+        """Elastically add a memory node; returns its id.
+
+        By default the node is migration headroom (all slots free); with
+        ``grow_virtual`` it also extends the virtual address space — the
+        caller is responsible for handing the new range to its allocator.
+        """
+        node_id, _ = self.extents.add_node(node_size, grow_virtual=grow_virtual)
+        node = MemoryNode(node_id, self.extents.node_size_of(node_id))
+        node.set_write_hook(self._on_node_write)
+        self.nodes.append(node)
+        return node_id
 
     def set_notifier(self, notifier: Optional[Notifier]) -> None:
         """Attach the notification subsystem (section 4.3)."""
@@ -108,7 +142,9 @@ class Fabric(FarPrimitivesMixin):
     def _on_node_write(self, node_id: int, offset: int, length: int, data: bytes) -> None:
         if self._notifier is None:
             return
-        address = self.placement.globalize(node_id, offset)
+        address = self.extents.try_globalize(node_id, offset)
+        if address is None:
+            return  # migration staging slot: not yet a virtual address
         self._notifier.on_write(address, length, data)
 
     # ------------------------------------------------------------------
@@ -167,12 +203,12 @@ class Fabric(FarPrimitivesMixin):
         injector.before_access(self.node_of(address), address, kind)
         flips = injector.take_corruption()
         if flips:
-            total = self.placement.total_size
+            total = self.extents.virtual_size
             for byte_off, bit in flips:
                 target = address + byte_off
                 if target >= total:
                     continue  # rot past the end of the pool lands nowhere
-                location = self.placement.locate(target)
+                location = self.extents.locate(target)
                 # Applied even on a failed node: data decays while down.
                 self.nodes[location.node].corrupt_bit(location.offset, bit)
 
@@ -191,26 +227,33 @@ class Fabric(FarPrimitivesMixin):
         return self.nodes[location.node]
 
     def locate(self, address: int) -> Location:
-        """Resolve a global address to its (node, offset)."""
-        return self.placement.locate(address)
+        """Resolve a virtual address to its *current* (node, offset).
+
+        The answer is only valid for the duration of one operation: a
+        live migration may remap the extent at any boundary. Code above
+        the fabric/recovery/migration layers must not hold onto it
+        (fmlint FM007 enforces this).
+        """
+        return self.extents.locate(address)
 
     def node_of(self, address: int) -> int:
-        """Memory node id holding ``address``."""
-        return self.placement.locate(address).node
+        """Memory node id *currently* holding ``address`` (see :meth:`locate`)."""
+        return self.extents.locate(address).node
 
     # ------------------------------------------------------------------
     # Base one-sided operations (section 2: loads/stores/atomics)
     # ------------------------------------------------------------------
 
     def read(self, address: int, length: int) -> FabricResult:
-        """One-sided read of a global range (split across nodes if striped)."""
+        """One-sided read of a virtual range (split across nodes if needed)."""
         pieces: list[bytes] = []
-        segments = self.placement.split(address, length)
+        segments = self.extents.split(address, length)
+        cursor = address
         for location, seg_len in segments:
-            node = self._node_for(
-                location, self.placement.globalize(location.node, location.offset)
-            )
+            node = self._node_for(location, cursor)
+            self.extents.touch(cursor)
             pieces.append(node.read(location.offset, seg_len))
+            cursor += seg_len
         return FabricResult(value=b"".join(pieces), segments=max(1, len(segments)))
 
     def write(self, address: int, data: bytes) -> FabricResult:
@@ -239,40 +282,99 @@ class Fabric(FarPrimitivesMixin):
         return self._write_segments(address, data)
 
     def _write_segments(self, address: int, data: bytes) -> FabricResult:
-        segments = self.placement.split(address, len(data))
+        # Police in-flight migrations first: a FENCE raises before any
+        # byte moves, so a fenced write is all-or-nothing.
+        mirrors = self.extents.write_intercept(address, len(data))
+        segments = self.extents.split(address, len(data))
         cursor = 0
         for location, seg_len in segments:
-            node = self._node_for(
-                location, self.placement.globalize(location.node, location.offset)
-            )
+            node = self._node_for(location, address + cursor)
+            self.extents.touch(address + cursor)
             node.write(location.offset, data[cursor : cursor + seg_len])
             cursor += seg_len
-        return FabricResult(segments=max(1, len(segments)))
+        hops = self._apply_mirrors(data, mirrors)
+        return FabricResult(segments=max(1, len(segments)), forward_hops=hops)
+
+    def _apply_mirrors(self, data: bytes, mirrors) -> int:
+        """FORWARD-policy dual writes: mirror the already-copied portion
+        of a migrating extent to its new home (one forward hop each)."""
+        from .errors import NodeUnavailableError
+
+        hops = 0
+        for data_off, length, dst_node, dst_offset in mirrors:
+            if dst_node in self._failed_nodes:
+                raise NodeUnavailableError(dst_node, dst_offset)
+            self.nodes[dst_node].write(dst_offset, bytes(data[data_off : data_off + length]))
+            hops += 1
+        return hops
+
+    def _mirror_word(self, address: int, mirrors) -> None:
+        """Mirror the post-op value of an atomic's target word (the word
+        re-read from the source is the linearised result)."""
+        if not mirrors:
+            return
+        location = self.extents.locate(address)
+        word = self.nodes[location.node].read(location.offset, WORD)
+        self._apply_mirrors(word, [(0, WORD, m[2], m[3]) for m in mirrors])
+
+    def write_phys(self, node: int, offset: int, data: bytes) -> FabricResult:
+        """Raw write to a *physical* node-local range (migration staging).
+
+        The destination slot of an in-flight migration has no virtual
+        address until the remap commits, so the copy engine addresses it
+        physically — this models the NIC-to-NIC DMA a real fabric would
+        use. Deliberately bypasses fault injection (transient-fault rules
+        key on virtual addresses); callers charge it like any far write.
+        """
+        from .errors import NodeUnavailableError
+
+        if node in self._failed_nodes:
+            raise NodeUnavailableError(node, offset)
+        self.nodes[node].write(offset, bytes(data))
+        return FabricResult(segments=1)
 
     def read_word(self, address: int) -> int:
         """Read one aligned word (always within a single node)."""
-        location = self.placement.locate(address)
+        location = self.extents.locate(address)
+        self.extents.touch(address)
         return self._node_for(location, address).read_word(location.offset)
 
     def write_word(self, address: int, value: int) -> None:
         """Write one aligned word."""
-        location = self.placement.locate(address)
+        mirrors = self.extents.write_intercept(address, WORD)
+        location = self.extents.locate(address)
+        self.extents.touch(address)
         self._node_for(location, address).write_word(location.offset, value)
+        self._mirror_word(address, mirrors)
 
     def compare_and_swap(self, address: int, expected: int, new: int) -> tuple[int, bool]:
         """Fabric-level atomic CAS on a word (section 2)."""
-        location = self.placement.locate(address)
-        return self._node_for(location, address).compare_and_swap(location.offset, expected, new)
+        mirrors = self.extents.write_intercept(address, WORD)
+        location = self.extents.locate(address)
+        self.extents.touch(address)
+        result = self._node_for(location, address).compare_and_swap(
+            location.offset, expected, new
+        )
+        self._mirror_word(address, mirrors)
+        return result
 
     def fetch_add(self, address: int, delta: int) -> int:
         """Fabric-level atomic fetch-and-add on a word; returns old value."""
-        location = self.placement.locate(address)
-        return self._node_for(location, address).fetch_add(location.offset, delta)
+        mirrors = self.extents.write_intercept(address, WORD)
+        location = self.extents.locate(address)
+        self.extents.touch(address)
+        old = self._node_for(location, address).fetch_add(location.offset, delta)
+        self._mirror_word(address, mirrors)
+        return old
 
     def swap(self, address: int, value: int) -> int:
         """Fabric-level atomic exchange on a word; returns old value."""
-        location = self.placement.locate(address)
-        return self._node_for(location, address).swap(location.offset, value)
+        mirrors = self.extents.write_intercept(address, WORD)
+        location = self.extents.locate(address)
+        self.extents.touch(address)
+        old = self._node_for(location, address).swap(location.offset, value)
+        self._mirror_word(address, mirrors)
+        return old
 
     # ------------------------------------------------------------------
     # Indirection plumbing shared by the Fig. 1 primitives
@@ -282,7 +384,7 @@ class Fabric(FarPrimitivesMixin):
         """Forward hops needed to touch ``[target, target+length)`` from
         ``home_node``, or raise under the ERROR policy."""
         length = max(length, WORD)
-        segments = self.placement.split(target, length)
+        segments = self.extents.split(target, length)
         remote = sum(1 for location, _ in segments if location.node != home_node)
         if remote == 0:
             return 0
@@ -291,11 +393,18 @@ class Fabric(FarPrimitivesMixin):
                 location.node for location, _ in segments if location.node != home_node
             )
             raise RemoteIndirectionError(target, home_node, first_remote)
+        # Locality telemetry for the rebalancer: each forwarded segment
+        # names home_node as a "forward source" of the target's extent.
+        cursor = target
+        for location, seg_len in segments:
+            if location.node != home_node:
+                self.extents.note_forward(cursor, home_node)
+            cursor += seg_len
         return remote
 
     def __repr__(self) -> str:
         return (
-            f"Fabric(nodes={self.placement.node_count}, "
+            f"Fabric(nodes={len(self.nodes)}, "
             f"node_size={self.placement.node_size}, "
             f"policy={self.indirection_policy.value})"
         )

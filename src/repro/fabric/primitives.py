@@ -111,7 +111,9 @@ class FarPrimitivesMixin:
             raise
 
     def _segments_of(self, address: int, length: int) -> int:
-        return max(1, len(self.placement.split(address, max(length, 1))))
+        # self.split is Fabric.split: extent-table translation, so the
+        # count stays right while (and after) extents migrate.
+        return max(1, len(self.split(address, max(length, 1))))
 
     # ------------------------------------------------------------------
     # Indirect loads / stores (section 4.1)

@@ -116,7 +116,7 @@ class ReplicatedRegion:
         """
         from ..alloc import on_node  # deferred: avoids the import cycle
 
-        node_count = allocator.fabric.placement.node_count
+        node_count = allocator.fabric.node_count
         if copies < 2:
             raise ValueError("replication needs at least 2 copies")
         if copies > node_count:

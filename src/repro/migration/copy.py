@@ -1,0 +1,75 @@
+"""The shared bulk-copy engine: one window idiom for repair and migration.
+
+Replica rebuild (:mod:`repro.recovery.repair`) and live extent migration
+(:mod:`repro.migration.coordinator`) move bytes the same way: a batch
+window of unsignaled reads, then a batch window of unsignaled writes —
+PR 2's pipelined submission path, so a round of N chunks costs
+``max(latencies) + (N-1) * issue_ns`` per direction while every chunk is
+still counted individually. Both callers route through these helpers so
+the charge sequences cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..fabric.client import Client
+
+
+def chunk_spans(total: int, chunk_bytes: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(offset, length)`` covering ``[0, total)`` in chunks."""
+    offset = 0
+    while offset < total:
+        length = min(chunk_bytes, total - offset)
+        yield offset, length
+        offset += length
+
+
+def read_window(
+    client: Client, reads: Sequence[tuple[int, int]]
+) -> list[bytes]:
+    """One overlap window of reads; returns the data in request order.
+
+    ``reads`` is ``[(address, length), ...]``. Each read is one charged
+    far access; the window overlaps their latency (one doorbell).
+    """
+    with client.batch():
+        futures = [
+            client.submit("read", address, length, signaled=False)
+            for address, length in reads
+        ]
+    return [future.result() for future in futures]
+
+
+def write_window(client: Client, writes: Sequence[tuple]) -> None:
+    """One overlap window of writes. ``writes`` is ``[(op, *args), ...]``
+    — ``("write", address, data)`` for virtual writes (repair) or
+    ``("write_phys", node, offset, data)`` for migration staging."""
+    with client.batch():
+        futures = [
+            client.submit(entry[0], *entry[1:], signaled=False) for entry in writes
+        ]
+    for future in futures:
+        future.result()
+
+
+def copy_serial(
+    client: Client,
+    src_base: int,
+    dst_base: int,
+    total: int,
+    chunk_bytes: int,
+    on_chunk: Optional[Callable[[int, int], None]] = None,
+) -> None:
+    """Serial (unpipelined) chunked copy: read then write per chunk.
+
+    Used for unframed regions where the caller wants the strictly
+    sequential charge profile (one read + one write round trip per
+    chunk). ``on_chunk(done, length)`` fires after each chunk lands.
+    """
+    for offset, length in chunk_spans(total, chunk_bytes):
+        data = client.read(src_base + offset, length)
+        # fmlint: disable=FM001 — deliberately serial charge profile (A4 baseline)
+        client.write(dst_base + offset, data)
+        if on_chunk is not None:
+            on_chunk(offset + length, length)

@@ -80,7 +80,7 @@ class NotificationManager:
         """Register a subscription; validates the section 4.3 alignment and
         page constraints. Charges the subscriber one far access if it is a
         client (brokers and test sinks are not charged)."""
-        self.fabric.placement.check(address, length)
+        self.fabric.check(address, length)
         sub = Subscription(
             sub_id=self._next_id,
             subscriber=subscriber,

@@ -57,6 +57,9 @@ CORRUPTION_DETECTED = "corruption_detected"
 TORN_WRITE = "torn_write"
 REPAIR_COPY = "repair_copy"
 FENCE_REJECT = "fence_reject"
+EXTENT_MIGRATE = "extent_migrate"
+REMAP = "remap"
+DRAIN = "drain"
 
 EVENT_KINDS = (
     FAR_ACCESS,
@@ -71,6 +74,9 @@ EVENT_KINDS = (
     TORN_WRITE,
     REPAIR_COPY,
     FENCE_REJECT,
+    EXTENT_MIGRATE,
+    REMAP,
+    DRAIN,
 )
 
 
@@ -498,6 +504,54 @@ class Tracer:
             client, FENCE_REJECT, {"region": region, "held": held, "current": current}
         )
 
+    def on_extent_migrate(
+        self,
+        client: "Client",
+        *,
+        extent: int,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        done: int,
+        total: int,
+    ) -> None:
+        """One copy round of a live extent migration (src → staging slot
+        on dst). ``done``/``total`` are bytes of the extent copied so
+        far, so migration progress is reconstructable from the stream."""
+        self._emit(
+            client,
+            EXTENT_MIGRATE,
+            {
+                "extent": extent,
+                "src_node": src_node,
+                "dst_node": dst_node,
+                "nbytes": nbytes,
+                "done": done,
+                "total": total,
+            },
+        )
+
+    def on_remap(
+        self, client: "Client", *, extent: int, src_node: int, dst_node: int, epoch: int
+    ) -> None:
+        """A migration committed: the extent's virtual range now
+        translates to ``dst_node`` and its epoch advanced."""
+        self._emit(
+            client,
+            REMAP,
+            {"extent": extent, "src_node": src_node, "dst_node": dst_node, "epoch": epoch},
+        )
+
+    def on_drain(
+        self, client: "Client", *, node: int, extents_moved: int, bytes_copied: int
+    ) -> None:
+        """A node was fully drained and removed from placement rotation."""
+        self._emit(
+            client,
+            DRAIN,
+            {"node": node, "extents_moved": extents_moved, "bytes_copied": bytes_copied},
+        )
+
     def on_notification(
         self,
         client: "Client",
@@ -628,6 +682,24 @@ class Tracer:
             lines.append(
                 f"repair: region {region} node{dead}->node{spare} "
                 f"{done}/{total} blocks ({nbytes} bytes)"
+            )
+        # Migration digest: committed remaps + copy volume, then one line
+        # per drained node.
+        remaps = counts.get(REMAP, 0)
+        if remaps or counts.get(EXTENT_MIGRATE, 0):
+            copied = sum(
+                e.data["nbytes"] for e in self.events if e.kind == EXTENT_MIGRATE
+            )
+            lines.append(
+                f"migration: extents_remapped={remaps} bytes_copied={copied}"
+            )
+        for event in self.events:
+            if event.kind != DRAIN:
+                continue
+            d = event.data
+            lines.append(
+                f"drain: node{d['node']} moved={d['extents_moved']} extents "
+                f"({d['bytes_copied']} bytes)"
             )
         return lines
 

@@ -46,6 +46,7 @@ from ..fabric.errors import AllocationError, NodeUnavailableError
 from ..fabric.integrity import frame_block, frame_size, try_unframe
 from ..fabric.replication import ReplicatedRegion
 from ..fabric.wire import WORD
+from ..migration.copy import copy_serial, read_window, write_window
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package-init import cycle
     from ..alloc import FarAllocator
@@ -135,6 +136,11 @@ class RepairCoordinator:
         region.region_id = region_id
         region.coordinator = self
         self._regions[region_id] = region
+        # Tell the extent table which extents hold this region's replicas,
+        # so live migration never co-locates two fault domains.
+        extents = self.allocator.fabric.extents
+        for base in region.replicas:
+            extents.annotate_replicas(region_id, base, region.size)
         return region_id
 
     def current_replicas(self, region_id: int) -> tuple[int, ...]:
@@ -165,10 +171,10 @@ class RepairCoordinator:
     def _pick_spare(self, region: ReplicatedRegion, dead_node: int) -> int:
         fabric = self.allocator.fabric
         occupied = {fabric.node_of(base) for base in region.replicas}
-        for node in range(fabric.placement.node_count):
+        for node in range(fabric.node_count):
             if node == dead_node or node in occupied:
                 continue
-            if fabric.node_available(node):
+            if fabric.node_available(node) and not fabric.extents.is_drained(node):
                 return node
         raise AllocationError(
             region.size,
@@ -214,6 +220,8 @@ class RepairCoordinator:
         # release point — any writer fenced under the new epoch observes a
         # fully-copied replica.
         region.replicas[dead_index] = new_base
+        fabric.extents.clear_replicas(region.region_id, dead_base, region.size)
+        fabric.extents.annotate_replicas(region.region_id, new_base, region.size)
         old = client.faa(region.epoch_addr, 1)
         region.epoch = old + 1
         report.replicas_rebuilt += 1
@@ -243,12 +251,7 @@ class RepairCoordinator:
         while done < total:
             count = min(self.chunk_blocks, total - done)
             offsets = [(done + i) * fsize for i in range(count)]
-            with client.batch():
-                reads = [
-                    client.submit("read", source + off, fsize, signaled=False)
-                    for off in offsets
-                ]
-            frames = [future.result() for future in reads]
+            frames = read_window(client, [(source + off, fsize) for off in offsets])
             out: list[bytes] = []
             for off, frame in zip(offsets, frames):
                 if try_unframe(frame) is not None:
@@ -263,13 +266,10 @@ class RepairCoordinator:
                     targets[0], region.block_payload, fallback=tuple(targets[1:])
                 )
                 out.append(frame_block(payload, version))
-            with client.batch():
-                writes = [
-                    client.submit("write", new_base + off, frame, signaled=False)
-                    for off, frame in zip(offsets, out)
-                ]
-            for future in writes:
-                future.result()
+            write_window(
+                client,
+                [("write", new_base + off, frame) for off, frame in zip(offsets, out)],
+            )
             done += count
             nbytes = sum(len(frame) for frame in out)
             report.blocks_copied += count
@@ -298,15 +298,11 @@ class RepairCoordinator:
     ) -> None:
         """Stream an unframed region byte-for-byte (no verification
         possible — plain regions carry no checksums), chunked through the
-        pipeline."""
+        shared serial copy engine (strictly sequential charge profile)."""
         source = survivors[0]
         total = region.size
-        done = 0
-        while done < total:
-            length = min(self.chunk_bytes, total - done)
-            data = client.read(source + done, length)
-            client.write(new_base + done, data)
-            done += length
+
+        def on_chunk(done: int, length: int) -> None:
             report.bytes_copied += length
             if client.tracer is not None:
                 client.tracer.on_repair_copy(
@@ -319,3 +315,5 @@ class RepairCoordinator:
                     done=done,
                     total=total,
                 )
+
+        copy_serial(client, source, new_base, total, self.chunk_bytes, on_chunk)

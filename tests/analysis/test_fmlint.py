@@ -317,6 +317,90 @@ class TestFM006:
 
 
 # ---------------------------------------------------------------------------
+# FM007 — physical-placement-leak
+# ---------------------------------------------------------------------------
+
+
+class TestFM007:
+    def test_flags_node_of_and_locate(self):
+        findings = _lint(
+            """
+            def where(cluster, address):
+                node = cluster.fabric.node_of(address)
+                spot = cluster.fabric.locate(address)
+                return node, spot
+            """
+        )
+        assert [f.code for f in findings] == ["FM007", "FM007"]
+        assert "node_of" in findings[0].message
+        assert "locate" in findings[1].message
+
+    def test_flags_fabric_alias_receiver(self):
+        assert (
+            _codes(
+                """
+                def home(allocator, address):
+                    fabric = allocator.fabric
+                    return fabric.node_of(address)
+                """
+            )
+            == ["FM007"]
+        )
+
+    def test_flags_hand_built_location(self):
+        findings = _lint(
+            """
+            def stash(node, offset):
+                return Location(node=node, offset=offset)
+            """
+        )
+        assert [f.code for f in findings] == ["FM007"]
+        assert "Location" in findings[0].message
+
+    def test_virtual_address_use_is_clean(self):
+        assert (
+            _codes(
+                """
+                def read_all(client, address, length):
+                    return client.read(address, length)
+                """
+            )
+            == []
+        )
+
+    def test_non_fabric_receiver_is_clean(self):
+        assert (
+            _codes(
+                """
+                def lookup(table, address):
+                    return table.node_of(address)
+                """
+            )
+            == []
+        )
+
+    def test_suppression_escape(self):
+        assert (
+            _codes(
+                """
+                def pick_victim(cluster, address):
+                    # fmlint: disable=FM007 — choosing a node to fail in a test
+                    return cluster.fabric.node_of(address)
+                """
+            )
+            == []
+        )
+
+    def test_translation_and_movement_layers_are_exempt(self):
+        from repro.analysis.fmlint import _exempt_codes
+
+        assert "FM007" in _exempt_codes("src/repro/fabric/extent.py")
+        assert _exempt_codes("src/repro/recovery/repair.py") == {"FM007"}
+        assert _exempt_codes("src/repro/migration/coordinator.py") == {"FM007"}
+        assert "FM007" not in _exempt_codes("src/repro/alloc/allocator.py")
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Cluster
-from repro.fabric import Client, Fabric, IndirectionPolicy, InterleavedPlacement, RangePlacement
+from repro.fabric import Client, Fabric, IndirectionPolicy, make_placement
 
 NODE_SIZE = 8 << 20  # 8 MiB per node keeps tests fast
 
@@ -48,14 +48,12 @@ def client(cluster: Cluster) -> Client:
 
 @pytest.fixture
 def fabric() -> Fabric:
-    return Fabric(RangePlacement(node_count=2, node_size=NODE_SIZE))
+    return Fabric(make_placement(2, NODE_SIZE))
 
 
 @pytest.fixture
 def striped_fabric() -> Fabric:
-    return Fabric(
-        InterleavedPlacement(node_count=4, node_size=NODE_SIZE, granularity=4096)
-    )
+    return Fabric(make_placement(4, NODE_SIZE, interleaved=True, granularity=4096))
 
 
 @pytest.fixture

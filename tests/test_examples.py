@@ -13,7 +13,13 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
-FAST = ["quickstart.py", "fault_tolerance.py", "lost_update.py", "node_repair.py"]
+FAST = [
+    "quickstart.py",
+    "fault_tolerance.py",
+    "lost_update.py",
+    "node_repair.py",
+    "elastic_cluster.py",
+]
 SLOW = [
     "monitoring.py",
     "parameter_server.py",

@@ -114,3 +114,28 @@ def test_sanitize_subcommand_fails_on_violations(tmp_path, capsys):
     )
     assert main(["sanitize", str(script), "--no-strict"]) == 1
     assert "budget violation" in capsys.readouterr().out
+
+
+def test_topology_subcommand_renders_table(capsys):
+    assert main(["topology"]) == 0
+    out = capsys.readouterr().out
+    assert "virtual address space" in out
+    assert "extents of 262144 bytes" in out
+    assert "free_slots" in out  # per-node table header
+
+
+def test_topology_demo_shows_drain_and_remaps(capsys):
+    assert main(["topology", "--demo"]) == 0
+    out = capsys.readouterr().out
+    assert "(17 remapped" in out  # migrate + full drain of the last node
+    assert "yes" in out  # drained column marker
+    assert "*" in out  # remapped-extent flag
+
+
+def test_topology_json_is_machine_readable(capsys):
+    assert main(["topology", "--json", "--nodes", "3"]) == 0
+    dump = json.loads(capsys.readouterr().out)
+    assert dump["extent_size"] == 262144
+    assert len(dump["nodes"]) == 3
+    assert dump["extent_count"] == len(dump["extents"])
+    assert all(not info["remapped"] for info in dump["extents"])
