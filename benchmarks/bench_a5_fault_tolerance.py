@@ -11,7 +11,10 @@ latency degrade. The claims:
   raises a typed error, and the queue's fast-path fraction (the paper's
   section 6 contention argument) survives the chaos;
 * breakers stay **quiet** at moderate rates — isolated transient faults
-  are absorbed by retries without tripping node-level protection.
+  are absorbed by retries without tripping node-level protection;
+* the **SLO watchdog sees it live** — the timeout-ratio objective fires
+  within a window or two of the fault injector switching on at the
+  highest rate, and never fires on the fault-free run.
 
 ``FM_BENCH_SMOKE=1`` shrinks the workload for CI smoke runs.
 """
@@ -22,7 +25,9 @@ import os
 
 from repro.fabric import FaultPlan, RetryPolicy
 from repro.fabric.errors import FabricError
-from repro.obs import LatencyHistogram, Tracer
+from repro.obs import LatencyHistogram, SLOMonitor, TelemetryRegistry, Tracer
+
+SLO_WINDOW_NS = 50_000
 
 from helpers import (
     build_cluster,
@@ -59,6 +64,11 @@ def _run_at_rate(rate, seed):
     c = cluster.client("worker", retry_policy=RetryPolicy(max_attempts=4))
     tracer = Tracer()
     tracer.attach(c)
+    # The live telemetry plane watches the same event stream; at rate > 0
+    # the injector is hot from the worker's first op, so the burst starts
+    # at window 0 and the watchdog should trip within a window or two.
+    registry = TelemetryRegistry(window_ns=SLO_WINDOW_NS).observe(tracer)
+    monitor = SLOMonitor(registry)
     hist = LatencyHistogram()
     issued = completed = errors = 0
     snapshot = c.metrics.snapshot()
@@ -90,10 +100,16 @@ def _run_at_rate(rate, seed):
 
     delta = c.metrics.delta(snapshot)
     elapsed_ns = c.clock.now_ns - started_ns
+    monitor.finish(c)
     tracer.finish()
     # No lost or double-counted attribution: the spans (including the
     # client's root span) account for every far access the worker made.
     assert tracer.attributed_far_accesses() == delta.far_accesses
+    # The registry rode the same events: its fleet counter is the delta.
+    assert (
+        registry.counter_total(("fleet",), "far_accesses") == delta.far_accesses
+    )
+    timeout_alerts = monitor.alerts_for("timeout-ratio")
     return {
         "rate": rate,
         "p50_ns": hist.p50,
@@ -110,6 +126,12 @@ def _run_at_rate(rate, seed):
         "errors": errors,
         "retry_events": len(tracer.events_by_kind("backoff")),
         "trace_summary": tracer.summary(),
+        "slo_alerts": len(monitor.alerts),
+        "timeout_alerts": len(timeout_alerts),
+        "first_alert_window": (
+            timeout_alerts[0].window if timeout_alerts else None
+        ),
+        "slo_alert_events": len(tracer.events_by_kind("slo_alert")),
     }
 
 
@@ -190,3 +212,11 @@ def test_a5_fault_tolerance(benchmark):
     assert all(r["breaker_trips"] == 0 for r in results)
     # ...and the queue's contention-free fast path survives the chaos.
     assert all(r["fast_path_fraction"] >= 0.95 for r in results)
+    # The SLO watchdog: silent on the clean run, fires on the worst one —
+    # and fires *fast*, within a couple of 50 us windows of the injector
+    # switching on (which happens at the worker's very first op).
+    assert results[0]["slo_alerts"] == 0
+    assert results[-1]["timeout_alerts"] >= 1
+    assert results[-1]["first_alert_window"] <= 2
+    # Every alert the monitor recorded is also a typed trace event.
+    assert all(r["slo_alert_events"] == r["slo_alerts"] for r in results)

@@ -23,6 +23,8 @@ import os
 import random
 
 from repro.obs import (
+    FLEET,
+    TelemetryRegistry,
     Tracer,
     chrome_trace,
     validate_chrome_trace,
@@ -71,6 +73,10 @@ def _run_at_depth(depth):
     c = cluster.client("reader", qp_depth=depth)
     tracer = Tracer()
     tracer.attach(c)
+    # The live telemetry plane rides the same event stream as a sink;
+    # the depth-1-equals-sequential assert below doubles as the
+    # zero-observer-effect check (counts and clock bit-identical).
+    registry = TelemetryRegistry(window_ns=10_000).observe(tracer)
     snapshot = c.metrics.snapshot()
     started_ns = c.clock.now_ns
     values = tree.multiget(c, lookups)
@@ -79,6 +85,14 @@ def _run_at_depth(depth):
     tracer.finish()
     # Attribution closes: spans account for every far access, exactly.
     assert tracer.attributed_far_accesses() == delta.far_accesses
+    # The registry saw the same world: fleet counter equals the exact
+    # metrics delta, and the windowed ring rolls up to the unwindowed
+    # window histogram with nothing lost.
+    assert registry.counter_total(FLEET, "far_accesses") == delta.far_accesses
+    ring = registry.histogram(FLEET, "window_ns")
+    rollup = ring.rollup()
+    assert rollup.count == tracer.window_hist.count
+    assert rollup.samples() == tracer.window_hist.samples()
     window_hist = tracer.window_hist
     return {
         "depth": depth,

@@ -19,6 +19,7 @@ Two claims from the virtual-addressing refactor, measured structurally:
 from __future__ import annotations
 
 from repro.alloc import on_node
+from repro.obs import TelemetryRegistry, Tracer
 from repro.obs.histogram import LatencyHistogram
 from repro.workloads import OpKind, ycsb_operations
 
@@ -31,12 +32,23 @@ YCSB_OPS = 4_000
 CHASES = 384  # 6 passes over 64 pointers
 
 
-def _drain_under_ycsb():
-    """Drain node 0 while YCSB-A keeps reading and updating it."""
+def _drain_under_ycsb(telemetry=True):
+    """Drain node 0 while YCSB-A keeps reading and updating it.
+
+    With ``telemetry`` the driver carries a tracer feeding a live
+    :class:`TelemetryRegistry`; the observer-effect test runs this twice
+    (with and without) and asserts bit-identical metrics and clocks.
+    """
     cluster = build_cluster(node_count=2, node_size=NODE_SIZE)
     cluster.add_node()  # headroom for the drain
     driver = cluster.client("drain-driver")
     worker = cluster.client("ycsb")
+    registry = None
+    if telemetry:
+        tracer = Tracer()
+        tracer.attach(driver)
+        tracer.attach(worker)
+        registry = TelemetryRegistry().observe(tracer)
     base = cluster.allocator.alloc(NODE_SIZE)  # spans all of node 0
 
     oracle: dict[int, bytes] = {}
@@ -74,12 +86,30 @@ def _drain_under_ycsb():
         if driver.read(address, 8) != value
     )
     predicted = cluster.migration.predicted_copy_accesses(report.extents_moved)
+    table = cluster.fabric.extents
+    converged = drained_seen = None
+    if registry is not None:
+        # The registry's extent->node view (learned purely from remap
+        # events) converged to the post-drain table layout, and the
+        # drain event marked the node.
+        converged = all(
+            registry.extent_node(extent)
+            == table.node_of(table.extent_base(extent))
+            for extent, _ in report.moves
+        )
+        drained_seen = 0 in registry.drained_nodes()
     return {
         "extents_moved": report.extents_moved,
         "predicted_copy_accesses": predicted,
         "charged_copy_accesses": cluster.migration.stats.copy_far_accesses,
         "ycsb_ops_applied": applied[0],
         "bytes_lost": lost,
+        "driver_clock_ns": driver.clock.now_ns,
+        "worker_clock_ns": worker.clock.now_ns,
+        "driver_far": driver.metrics.far_accesses,
+        "worker_far": worker.metrics.far_accesses,
+        "telemetry_converged": converged,
+        "telemetry_drained": drained_seen,
     }
 
 
@@ -94,10 +124,19 @@ def _chase_p99(client, pointers):
 
 
 def _rebalance_hot_extent():
-    """Pointer-chase p99 before and after a heat-driven rebalance."""
+    """Pointer-chase p99 before and after a heat-driven rebalance.
+
+    The rebalance here runs in *registry* mode: extent heat comes from
+    the live telemetry plane (far-access events, counting both the
+    faulting address and the forward target) instead of the extent
+    table's translate-time counters.
+    """
     cluster = build_cluster(node_count=2, node_size=NODE_SIZE)
     cluster.add_node()  # spill headroom for the eviction
     client = cluster.client("chaser")
+    tracer = Tracer()
+    tracer.attach(client)
+    registry = TelemetryRegistry().observe(tracer)
     # Pointers live with the dereferencers on node 0; every target sits
     # in one hot extent on node 1, so each chase pays a forward hop.
     pointers = [cluster.allocator.alloc_words(1, on_node(0)) for _ in range(64)]
@@ -114,7 +153,15 @@ def _rebalance_hot_extent():
         before.merge(_chase_p99(client, pointers))
     forwards_before = client.metrics.indirection_forwards
 
-    report = cluster.rebalance(client, top_k=1)
+    report = cluster.rebalance(client, top_k=1, registry=registry)
+
+    # The telemetry plane agrees with the table about where the moved
+    # extent now lives (it learned the new home from the remap event).
+    table = cluster.fabric.extents
+    for move in report.moves:
+        assert registry.extent_node(move.extent) == table.node_of(
+            table.extent_base(move.extent)
+        )
 
     snapshot = client.metrics.snapshot()
     after = LatencyHistogram()
@@ -172,6 +219,9 @@ def test_a8_migration(benchmark):
     assert drain["bytes_lost"] == 0
     assert drain["extents_moved"] == NODE_SIZE // ES
     assert drain["charged_copy_accesses"] == drain["predicted_copy_accesses"]
+    # The live registry converged to the drained layout from events alone.
+    assert drain["telemetry_converged"] is True
+    assert drain["telemetry_drained"] is True
     # A8b: co-locating the hot extent removes the forward hop from every
     # dereference, and the tail latency drops with it.
     assert rebalance["forwards_before"] == CHASES  # one hop per dereference

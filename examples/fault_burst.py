@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A seeded transient-fault burst, built for the SLO watchdog.
+
+Three phases over one HT-tree workload: a clean warm-up, a burst of
+injected timeouts + latency spikes (seeded, so every run burns the same
+budget at the same simulated time), then a recovery phase with the
+injector removed. Run it under the live telemetry plane and the
+timeout-ratio SLO fires during the burst and only during the burst:
+
+    python -m repro stats fault_burst --expect-alerts
+
+The clean sibling gate is the same command on ``quickstart`` with
+``--forbid-alerts`` — CI runs both, so the watchdog is checked in both
+directions (alerts under faults, silence on clean runs).
+
+Run:  python examples/fault_burst.py
+"""
+
+from repro import Cluster
+from repro.fabric import FaultPlan, RetryPolicy
+from repro.fabric.errors import FabricError
+
+ITEMS = 256
+CLEAN_OPS = 400
+BURST_OPS = 400
+FAULT_RATE = 0.08
+SEED = 1234
+
+
+def main() -> None:
+    cluster = Cluster(node_count=2, node_size=8 << 20)
+    loader = cluster.client("loader")
+    tree = cluster.ht_tree(bucket_count=512)
+    for key in range(ITEMS):
+        tree.put(loader, key, key * 3)
+
+    worker = cluster.client("worker", retry_policy=RetryPolicy(max_attempts=6))
+
+    # -- phase 1: clean baseline (no injector, nothing to alert on)
+    for i in range(CLEAN_OPS):
+        assert tree.get(worker, i % ITEMS) == (i % ITEMS) * 3
+    clean_ns = worker.clock.now_ns
+    print(f"clean phase: {CLEAN_OPS} lookups, 0 timeouts, "
+          f"{clean_ns / 1e3:.0f} simulated us")
+
+    # -- phase 2: the burst — seeded timeouts + latency spikes
+    cluster.inject_faults(
+        seed=SEED,
+        plan=FaultPlan()
+        .random_timeouts(FAULT_RATE)
+        .random_spikes(FAULT_RATE / 2, multiplier=6.0),
+    )
+    errors = 0
+    for i in range(BURST_OPS):
+        try:
+            tree.get(worker, i % ITEMS)
+        except FabricError:
+            errors += 1
+    cluster.fabric.set_fault_injector(None)
+    print(
+        f"burst phase: {BURST_OPS} lookups at fault rate {FAULT_RATE}, "
+        f"timeouts={worker.metrics.timeouts} retries={worker.metrics.retries} "
+        f"unrecovered={errors}"
+    )
+
+    # -- phase 3: recovery — the injector is gone, the burn stops
+    for i in range(CLEAN_OPS // 2):
+        tree.get(worker, i % ITEMS)
+    print(
+        f"recovery phase: {CLEAN_OPS // 2} clean lookups, "
+        f"{worker.clock.now_ns / 1e3:.0f} simulated us total"
+    )
+    print("\nrun `python -m repro stats fault_burst` to watch the "
+          "timeout-ratio SLO burn through the burst.")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,14 @@
 * ``python -m repro topology`` — dump a cluster's extent table (extent →
   node, epoch, heat, replica groups; ``--json`` for machine form;
   ``--demo`` first exercises add/migrate/drain so the dump shows remaps).
+* ``python -m repro stats <example>`` — run an example under the live
+  telemetry plane (registry + SLO monitor) and print the fleet/node/
+  extent dashboard; ``--out DIR`` also writes a Prometheus-text snapshot
+  and a telemetry JSONL; ``--expect-alerts`` / ``--forbid-alerts`` turn
+  SLO burn-rate alerts into the exit code (the CI gates).
+* ``python -m repro top <example> [--once]`` — same harness, rendered as
+  periodic ``top``-style frames over simulated time (``--once`` prints
+  only the final frame).
 """
 
 from __future__ import annotations
@@ -31,12 +39,18 @@ from typing import Optional, Sequence
 from repro import Cluster, __version__
 from repro.fabric.profile import Profiler
 from repro.obs import (
+    SLOMonitor,
+    TelemetryRegistry,
     Tracer,
     load_chrome_trace,
+    render_top,
+    set_default_sink,
     set_default_tracer,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
+    write_telemetry_jsonl,
 )
 
 
@@ -144,6 +158,107 @@ def _trace(target: str, out_dir: str) -> int:
             print(f"  - {problem}")
         return 1
     print("exported trace passed schema validation")
+    return 0
+
+
+class _TopTicker:
+    """Registry listener that prints a ``repro top`` frame every
+    ``every`` fleet-window advances (simulated time, so frame cadence is
+    deterministic)."""
+
+    def __init__(self, monitor: SLOMonitor, every: int) -> None:
+        self.monitor = monitor
+        self.every = every
+        self._last_frame_window: Optional[int] = None
+
+    def on_window_advance(self, registry, client, ts_ns) -> None:
+        window = registry.current_window
+        if (
+            self._last_frame_window is not None
+            and window - self._last_frame_window < self.every
+        ):
+            return
+        self._last_frame_window = window
+        print(render_top(registry, self.monitor))
+        print()
+
+
+def _run_with_telemetry(
+    target: str, window_ns: int, ticker_every: int = 0
+) -> tuple[str, Tracer, TelemetryRegistry, SLOMonitor]:
+    """Run an example under a tracer + telemetry registry + SLO monitor.
+
+    The registry is installed both as a sink on the default tracer (for
+    clients the script creates bare) and as the default sink (so tracers
+    the script builds itself feed it too). Observation stays free of
+    observer effects: counts and clocks are bit-identical either way.
+    """
+    path = _resolve_target(target)
+    tracer = Tracer()
+    registry = TelemetryRegistry(window_ns=window_ns).observe(tracer)
+    monitor = SLOMonitor(registry)
+    if ticker_every > 0:
+        registry.add_listener(_TopTicker(monitor, ticker_every))
+    set_default_tracer(tracer)
+    set_default_sink(registry)
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        set_default_tracer(None)
+        set_default_sink(None)
+    for client in tracer.clients():
+        registry.sample_client(client)
+    monitor.finish()
+    tracer.finish()
+    return path, tracer, registry, monitor
+
+
+def _alert_gate(monitor: SLOMonitor, expect: bool, forbid: bool) -> int:
+    if expect and not monitor.alerts:
+        print("FAIL: expected SLO alerts, none fired")
+        return 1
+    if forbid and monitor.alerts:
+        print(f"FAIL: unexpected SLO alert(s) fired on a clean run "
+              f"({len(monitor.alerts)})")
+        return 1
+    if expect:
+        print(f"OK: {len(monitor.alerts)} SLO alert(s) fired, as expected")
+    if forbid:
+        print("OK: no SLO alerts fired")
+    return 0
+
+
+def _stats(
+    target: str,
+    out_dir: Optional[str],
+    window_ns: int,
+    expect_alerts: bool,
+    forbid_alerts: bool,
+) -> int:
+    path, _tracer, registry, monitor = _run_with_telemetry(target, window_ns)
+    print(f"\n-- live telemetry of {path} --")
+    print(render_top(registry, monitor))
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        prom_path = os.path.join(out_dir, f"{stem}.prom")
+        jsonl_path = os.path.join(out_dir, f"{stem}.metrics.jsonl")
+        samples = write_prometheus(prom_path, registry)
+        records = write_telemetry_jsonl(jsonl_path, registry)
+        print(
+            f"\nwrote {prom_path} ({samples} samples) and "
+            f"{jsonl_path} ({records} records)"
+        )
+    return _alert_gate(monitor, expect_alerts, forbid_alerts)
+
+
+def _top(target: str, window_ns: int, once: bool, refresh: int) -> int:
+    ticker_every = 0 if once else refresh
+    path, _tracer, registry, monitor = _run_with_telemetry(
+        target, window_ns, ticker_every
+    )
+    print(f"\n-- final frame ({path}) --")
+    print(render_top(registry, monitor))
     return 0
 
 
@@ -342,6 +457,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="show every extent row (default: elide cold unremapped ones)",
     )
+    stats_parser = sub.add_parser(
+        "stats",
+        help="run an example under the live telemetry plane and print stats",
+    )
+    stats_parser.add_argument(
+        "target", help="example name (e.g. quickstart) or script path"
+    )
+    stats_parser.add_argument(
+        "--out",
+        default=None,
+        help="also write <name>.prom + <name>.metrics.jsonl snapshots here",
+    )
+    stats_parser.add_argument(
+        "--window-ns",
+        type=int,
+        default=1_000_000,
+        help="telemetry window in simulated ns (default: 1ms)",
+    )
+    stats_parser.add_argument(
+        "--expect-alerts",
+        action="store_true",
+        help="exit nonzero unless at least one SLO alert fired",
+    )
+    stats_parser.add_argument(
+        "--forbid-alerts",
+        action="store_true",
+        help="exit nonzero if any SLO alert fired",
+    )
+    top_parser = sub.add_parser(
+        "top",
+        help="run an example and render top-style telemetry frames",
+    )
+    top_parser.add_argument(
+        "target", help="example name (e.g. quickstart) or script path"
+    )
+    top_parser.add_argument(
+        "--window-ns",
+        type=int,
+        default=1_000_000,
+        help="telemetry window in simulated ns (default: 1ms)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print only the final frame (no periodic frames)",
+    )
+    top_parser.add_argument(
+        "--refresh",
+        type=int,
+        default=100,
+        help="windows between periodic frames (default: 100)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "trace":
@@ -354,6 +521,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _sanitize(args.target, strict=not args.no_strict)
     if args.command == "races":
         return _races(args.trace_jsonl)
+    if args.command == "stats":
+        return _stats(
+            args.target,
+            args.out,
+            args.window_ns,
+            args.expect_alerts,
+            args.forbid_alerts,
+        )
+    if args.command == "top":
+        return _top(args.target, args.window_ns, args.once, args.refresh)
     if args.command == "topology":
         return _topology(
             args.nodes,

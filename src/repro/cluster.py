@@ -135,7 +135,13 @@ class Cluster:
     def rebalance(
         self, client: Optional[Client] = None, **kwargs
     ) -> "RebalanceReport":
-        """One heat-driven rebalance pass (see :mod:`repro.migration`)."""
+        """One heat-driven rebalance pass (see :mod:`repro.migration`).
+
+        Keyword arguments (``top_k``, ``min_heat``, ``registry``) pass
+        through to :class:`~repro.migration.Rebalancer`; with
+        ``registry=`` the plan is driven by the live telemetry plane's
+        per-extent heat instead of the table's private touch counters.
+        """
         from .migration import Rebalancer
 
         if client is None:

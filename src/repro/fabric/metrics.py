@@ -104,6 +104,14 @@ class Metrics:
         "overlap_saved_ns",
     )
 
+    @classmethod
+    def counter_names(cls) -> tuple[str, ...]:
+        """Every first-class counter name, in declaration order. The
+        telemetry registry samples exactly this set per client; its own
+        field list is asserted against this at import time so a new
+        counter cannot be added without the live plane picking it up."""
+        return cls._INT_FIELDS
+
     def avg_pipeline_depth(self) -> float:
         """Mean operations per doorbell (submission-window flush). 1.0 is
         fully synchronous; the QP depth is the ceiling."""

@@ -256,7 +256,8 @@ class MigrationCoordinator:
         interleave: Optional[Callable[[], None]] = None,
     ) -> ExtentMigrationState:
         """Move one extent end-to-end; returns the committed state."""
-        return self.begin(client, extent, dst_node, policy=policy).run(interleave)
+        with client.trace("migration.extent", extent=extent):
+            return self.begin(client, extent, dst_node, policy=policy).run(interleave)
 
     def drain_node(
         self,
@@ -278,18 +279,21 @@ class MigrationCoordinator:
         if not self.fabric.node_available(node):
             raise NodeUnavailableError(node, 0)
         report = DrainReport(node=node)
-        for extent in table.extents_on_node(node):
-            dst = self.pick_target(extent, exclude={node}, allow_sibling_fallback=True)
-            state = self.begin(client, extent, dst, policy=policy).run(interleave)
-            report.extents_moved += 1
-            report.bytes_copied += table.extent_size
-            report.moves.append((extent, state.dst_node))
-        table.mark_drained(node)
-        if client.tracer is not None:
-            client.tracer.on_drain(
-                client,
-                node=node,
-                extents_moved=report.extents_moved,
-                bytes_copied=report.bytes_copied,
-            )
+        with client.trace("migration.drain", node=node):
+            for extent in table.extents_on_node(node):
+                dst = self.pick_target(
+                    extent, exclude={node}, allow_sibling_fallback=True
+                )
+                state = self.begin(client, extent, dst, policy=policy).run(interleave)
+                report.extents_moved += 1
+                report.bytes_copied += table.extent_size
+                report.moves.append((extent, state.dst_node))
+            table.mark_drained(node)
+            if client.tracer is not None:
+                client.tracer.on_drain(
+                    client,
+                    node=node,
+                    extents_moved=report.extents_moved,
+                    bytes_copied=report.bytes_copied,
+                )
         return report

@@ -17,6 +17,15 @@ The rebalancer turns that telemetry into moves:
 
 All tie-breaks are deterministic (heat descending, then extent id; load
 ascending, then node id), so a rebalance is replayable.
+
+Heat can come from two places. By default the rebalancer reads the
+extent table's private translate-time touch counters. Pass a
+:class:`~repro.obs.telemetry.TelemetryRegistry` and it reads the
+externally visible per-extent heat series instead — the same numbers
+``repro top`` renders — so every move is explainable from the public
+telemetry plane alone. Placement (which node holds which extent, free
+slots, forward sources) always comes from the table: that is fabric
+state, not observation.
 """
 
 from __future__ import annotations
@@ -56,12 +65,30 @@ class Rebalancer:
         *,
         top_k: int = 8,
         min_heat: int = 1,
+        registry=None,
     ) -> None:
         if top_k < 1:
             raise ValueError("top_k must be at least 1")
         self.coordinator = coordinator
         self.top_k = top_k
         self.min_heat = min_heat
+        self.registry = registry
+
+    def _heat_of(self, extent: int) -> int:
+        if self.registry is not None:
+            return self.registry.extent_heat(extent)
+        return self.coordinator.fabric.extents.heat_of(extent)
+
+    def _heat_by_node(self) -> dict[int, int]:
+        table = self.coordinator.fabric.extents
+        if self.registry is None:
+            return table.heat_by_node()
+        totals: dict[int, int] = {}
+        for node in range(self.coordinator.fabric.node_count):
+            load = sum(self._heat_of(e) for e in table.extents_on_node(node))
+            if load:
+                totals[node] = load
+        return totals
 
     def _live_nodes(self) -> list[int]:
         fabric = self.coordinator.fabric
@@ -93,7 +120,7 @@ class Rebalancer:
         live = self._live_nodes()
         if not live:
             return -1, []
-        heat = table.heat_by_node()
+        heat = self._heat_by_node()
         overloaded = max(live, key=lambda n: (heat.get(n, 0), -n))
         if heat.get(overloaded, 0) <= 0:
             return overloaded, []
@@ -101,9 +128,9 @@ class Rebalancer:
             (
                 extent
                 for extent in table.extents_on_node(overloaded)
-                if table.heat_of(extent) >= self.min_heat
+                if self._heat_of(extent) >= self.min_heat
             ),
-            key=lambda e: (-table.heat_of(e), e),
+            key=lambda e: (-self._heat_of(e), e),
         )[: self.top_k]
         free = {node: table.free_slot_count(node) for node in range(fabric.node_count)}
         planned: set[int] = set()
@@ -128,7 +155,7 @@ class Rebalancer:
                 spare = self._spill_target({prefer, overloaded}, free)
                 victim = min(
                     (e for e in table.extents_on_node(prefer) if e not in planned),
-                    key=lambda e: (table.heat_of(e), e),
+                    key=lambda e: (self._heat_of(e), e),
                     default=None,
                 )
                 if spare is None or victim is None:
@@ -151,11 +178,10 @@ class Rebalancer:
 
     def run(self, client: Client) -> RebalanceReport:
         """Plan and execute, charging the copies to ``client``."""
-        table = self.coordinator.fabric.extents
         overloaded, moves = self.plan()
         report = RebalanceReport(overloaded_node=overloaded)
         for move in moves:
-            report.moved_heat += table.heat_of(move.extent)
+            report.moved_heat += self._heat_of(move.extent)
             self.coordinator.migrate_extent(client, move.extent, move.dst)
             report.moves.append(move)
         return report

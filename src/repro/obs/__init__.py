@@ -1,29 +1,56 @@
 """Observability for the far-memory fabric: causal tracing, latency
-histograms over the simulated clock, and trace exporters.
+histograms over the simulated clock, a live telemetry plane (windowed
+time-series + SLO burn-rate alerting + text dashboards), and exporters.
 
-The tracer is strictly an observer — attaching one changes no metric
-counter and no simulated timestamp (see :mod:`repro.obs.trace` for the
+The tracer and the telemetry registry are strictly observers — attaching
+either changes no metric counter and no simulated timestamp (see
+:mod:`repro.obs.trace` and :mod:`repro.obs.telemetry` for the
 invariants). Typical use::
 
-    from repro.obs import Tracer
+    from repro.obs import Tracer, TelemetryRegistry, SLOMonitor
 
     tracer = Tracer()
+    registry = TelemetryRegistry().observe(tracer)
+    monitor = SLOMonitor(registry)
     with tracer.span(client, "httree.get", key=k):
         tree.get(client, k)
     tracer.finish()
+    monitor.finish()
     print(tracer.summary())
+    print(render_top(registry, monitor))
 """
 
+from .dashboard import (
+    render_extents,
+    render_fleet,
+    render_nodes,
+    render_slos,
+    render_structures,
+    render_top,
+)
 from .export import (
     assert_valid_chrome_trace,
     chrome_trace,
     iter_jsonl_records,
     load_chrome_trace,
+    prometheus_text,
+    telemetry_records,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
+    write_telemetry_jsonl,
 )
 from .histogram import HistogramSet, LatencyHistogram
+from .slo import SLOAlert, SLObjective, SLOMonitor, default_objectives
+from .telemetry import (
+    CLIENT_COUNTER_FIELDS,
+    FLEET,
+    CounterSeries,
+    GaugeSeries,
+    HistogramRing,
+    TelemetryRegistry,
+)
 from .trace import (
     BACKOFF,
     BREAKER_REJECT,
@@ -31,12 +58,14 @@ from .trace import (
     EVENT_KINDS,
     FAR_ACCESS,
     NOTIFY,
+    SLO_ALERT,
     STALL,
     TIMEOUT,
     WINDOW,
     Span,
     TraceEvent,
     Tracer,
+    set_default_sink,
     set_default_tracer,
 )
 
@@ -44,23 +73,45 @@ __all__ = [
     "BACKOFF",
     "BREAKER_REJECT",
     "BREAKER_TRIP",
+    "CLIENT_COUNTER_FIELDS",
     "EVENT_KINDS",
     "FAR_ACCESS",
+    "FLEET",
     "NOTIFY",
+    "SLO_ALERT",
     "STALL",
     "TIMEOUT",
     "WINDOW",
+    "CounterSeries",
+    "GaugeSeries",
+    "HistogramRing",
     "HistogramSet",
     "LatencyHistogram",
+    "SLOAlert",
+    "SLObjective",
+    "SLOMonitor",
     "Span",
+    "TelemetryRegistry",
     "TraceEvent",
     "Tracer",
     "assert_valid_chrome_trace",
     "chrome_trace",
+    "default_objectives",
     "iter_jsonl_records",
     "load_chrome_trace",
+    "prometheus_text",
+    "render_extents",
+    "render_fleet",
+    "render_nodes",
+    "render_slos",
+    "render_structures",
+    "render_top",
+    "set_default_sink",
     "set_default_tracer",
+    "telemetry_records",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
+    "write_telemetry_jsonl",
 ]

@@ -302,4 +302,156 @@ def load_chrome_trace(path: str) -> dict[str, Any]:
         return json.load(fh)
 
 
+# ----------------------------------------------------------------------
+# Telemetry snapshots: Prometheus text exposition + JSONL
+# ----------------------------------------------------------------------
+
+_SCOPE_LABEL_KEYS = {
+    "node": "node",
+    "extent": "extent",
+    "client": "client",
+    "structure": "structure",
+}
+
+_QUANTILES = ((0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"))
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def _prom_labels(scope: tuple, extra: str = "") -> str:
+    parts = [f'scope="{scope[0]}"']
+    key = _SCOPE_LABEL_KEYS.get(scope[0])
+    if key is not None and len(scope) > 1:
+        value = str(scope[1]).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{key}="{value}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: Any) -> str:
+    """Render a TelemetryRegistry as Prometheus text exposition format.
+
+    Counters export as ``repro_<name>_total``, gauges as
+    ``repro_<name>``, histogram rings as summaries (quantiles over the
+    exact cumulative histogram plus ``_sum``/``_count``). One snapshot
+    is one scrape: timestamps are omitted, Prometheus semantics apply.
+    """
+    lines: list[str] = []
+    last_header: Optional[str] = None
+
+    def header(name: str, kind: str) -> None:
+        nonlocal last_header
+        if name != last_header:
+            lines.append(f"# TYPE {name} {kind}")
+            last_header = name
+
+    for scope, name, series in registry.counters():
+        metric = _prom_name(name) + "_total"
+        header(metric, "counter")
+        lines.append(f"{metric}{_prom_labels(scope)} {_prom_value(series.total)}")
+    for scope, name, series in registry.gauges():
+        metric = _prom_name(name)
+        header(metric, "gauge")
+        lines.append(f"{metric}{_prom_labels(scope)} {_prom_value(series.value)}")
+    for scope, name, ring in registry.histograms():
+        metric = _prom_name(name)
+        header(metric, "summary")
+        hist = ring.total
+        for fraction, label in _QUANTILES:
+            quantile = 'quantile="%s"' % label
+            lines.append(
+                f"{metric}{_prom_labels(scope, quantile)} "
+                f"{_prom_value(hist.percentile(fraction))}"
+            )
+        lines.append(f"{metric}_sum{_prom_labels(scope)} {_prom_value(hist.total_ns)}")
+        lines.append(f"{metric}_count{_prom_labels(scope)} {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(path: str, registry: Any) -> int:
+    """Write the Prometheus snapshot; returns the sample-line count."""
+    text = prometheus_text(registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return sum(1 for line in text.splitlines() if not line.startswith("#"))
+
+
+def _scope_dict(scope: tuple) -> dict[str, Any]:
+    out: dict[str, Any] = {"kind": scope[0]}
+    key = _SCOPE_LABEL_KEYS.get(scope[0])
+    if key is not None and len(scope) > 1:
+        out[key] = scope[1]
+    return out
+
+
+def telemetry_records(registry: Any) -> list[dict[str, Any]]:
+    """Every registry series as flat dicts (meta record first)."""
+    records: list[dict[str, Any]] = [
+        {
+            "type": "meta",
+            "schema": "repro-telemetry-v1",
+            "window_ns": registry.window_ns,
+            "ring_windows": registry.ring_windows,
+            "last_ts_ns": registry.last_ts_ns,
+            "current_window": registry.current_window,
+        }
+    ]
+    for scope, name, series in registry.counters():
+        records.append(
+            {
+                "type": "series",
+                "series": "counter",
+                "scope": _scope_dict(scope),
+                "name": name,
+                "total": series.total,
+                "windows": series.windows(),
+            }
+        )
+    for scope, name, series in registry.gauges():
+        records.append(
+            {
+                "type": "series",
+                "series": "gauge",
+                "scope": _scope_dict(scope),
+                "name": name,
+                "value": series.value,
+                "ts_ns": series.ts_ns,
+                "windows": series.windows(),
+            }
+        )
+    for scope, name, ring in registry.histograms():
+        records.append(
+            {
+                "type": "series",
+                "series": "histogram",
+                "scope": _scope_dict(scope),
+                "name": name,
+                "summary": ring.total.summary(),
+                "windows": [
+                    [w, ring.window_hist(w).summary()] for w in ring.windows()
+                ],
+            }
+        )
+    return records
+
+
+def write_telemetry_jsonl(path: str, registry: Any) -> int:
+    """Write the telemetry snapshot as JSONL; returns the record count."""
+    records = telemetry_records(registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return len(records)
+
+
 _ = Optional  # quiet linters that dislike conditional typing imports

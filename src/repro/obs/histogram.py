@@ -88,6 +88,23 @@ class LatencyHistogram:
             self._sorted = True
         return self._samples
 
+    def samples(self) -> tuple[float, ...]:
+        """The recorded samples in sorted order (a defensive copy)."""
+        return tuple(self._ensure_sorted())
+
+    def count_above(self, threshold_ns: float) -> int:
+        """How many samples exceed ``threshold_ns`` (strictly). The SLO
+        monitor's latency objectives count these as bad events."""
+        samples = self._ensure_sorted()
+        lo, hi = 0, len(samples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if samples[mid] <= threshold_ns:
+                lo = mid + 1
+            else:
+                hi = mid
+        return len(samples) - lo
+
     def percentile(self, fraction: float) -> float:
         """Exact nearest-rank percentile (``0 <= fraction <= 1``)."""
         if not 0.0 <= fraction <= 1.0:

@@ -60,6 +60,7 @@ FENCE_REJECT = "fence_reject"
 EXTENT_MIGRATE = "extent_migrate"
 REMAP = "remap"
 DRAIN = "drain"
+SLO_ALERT = "slo_alert"
 
 EVENT_KINDS = (
     FAR_ACCESS,
@@ -77,7 +78,13 @@ EVENT_KINDS = (
     EXTENT_MIGRATE,
     REMAP,
     DRAIN,
+    SLO_ALERT,
 )
+
+# Installed by :func:`set_default_sink`: every Tracer constructed while a
+# default sink is set registers it at construction, so scripts that build
+# their own private tracers are still visible to ``python -m repro stats``.
+_default_sink_provider = None
 
 
 @dataclass
@@ -215,6 +222,14 @@ class Tracer:
         # this is what the Chrome exporter walks to emit B/E pairs.
         self._span_log: list[tuple[str, float, Span]] = []
         self._next_span_id = 1
+        # Live consumers of the typed event stream (e.g. a
+        # TelemetryRegistry). Sinks see every event from the single
+        # emission point, so new hook call sites never need sink wiring.
+        self._sinks: list[Any] = []
+        if _default_sink_provider is not None:
+            sink = _default_sink_provider()
+            if sink is not None:
+                self._sinks.append(sink)
 
     # ------------------------------------------------------------------
     # Attachment
@@ -252,6 +267,27 @@ class Tracer:
 
     def attached(self, client: "Client") -> bool:
         return client._tracer is self
+
+    def clients(self) -> list["Client"]:
+        """Every client this tracer is (or was) observing, attach order."""
+        return list(self._clients.values())
+
+    # ------------------------------------------------------------------
+    # Sinks (live consumers of the typed event stream)
+    # ------------------------------------------------------------------
+
+    def add_sink(self, sink: Any) -> "Tracer":
+        """Register a live event consumer (idempotent). A sink exposes
+        ``on_trace_event(client, event, span)`` and, like the tracer
+        itself, must never touch the client's metrics or clock."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+        return self
+
+    def remove_sink(self, sink: Any) -> "Tracer":
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+        return self
 
     # ------------------------------------------------------------------
     # Spans
@@ -333,7 +369,21 @@ class Tracer:
         event = TraceEvent(kind, client.clock.now_ns, client.name, span.span_id, data)
         span.event_count += 1
         self.events.append(event)
+        for sink in self._sinks:
+            sink.on_trace_event(client, event, span)
         return event
+
+    def emit_external(
+        self, client: "Client", kind: str, data: dict[str, Any]
+    ) -> TraceEvent:
+        """Append a typed event on behalf of an external observer (the
+        SLO monitor emits its burn-rate alerts through this). ``kind``
+        must be a declared event kind; the client must be attached."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        if client._tracer is not self:
+            raise RuntimeError(f"{client.name} is not attached to this tracer")
+        return self._emit(client, kind, dict(data))
 
     def on_far_access(
         self,
@@ -649,6 +699,7 @@ class Tracer:
         counters, and repair progress — the ``python -m repro trace``
         lines an operator reads after a faulty run."""
         lines: list[str] = []
+        lines.extend(self._node_lines())
         for client in self._clients.values():
             for node in sorted(getattr(client, "breakers", {})):
                 breaker = client.breakers[node]
@@ -659,7 +710,7 @@ class Tracer:
                     f"breaker: {client.name} node{node} state={state} "
                     f"trips={breaker.trips} rejections={breaker.rejections}"
                 )
-        detected = counts.get(CORRUPTION_DETECTED, 0)
+        detected = counts.get(CORRUPTION_DETECTED, 0)  # fleet-wide rollup
         torn = counts.get(TORN_WRITE, 0)
         fenced = counts.get(FENCE_REJECT, 0)
         if detected or torn or fenced:
@@ -703,6 +754,62 @@ class Tracer:
             )
         return lines
 
+    def _node_lines(self) -> list[str]:
+        """Per-node breakdown: share of traffic, tail charge, fault and
+        integrity counts, and dead/drained markers — so a hot or dead
+        node is identifiable from the summary alone."""
+        per_node: dict[int, dict[str, int]] = {}
+
+        def row(node: int) -> dict[str, int]:
+            return per_node.setdefault(
+                node, {"timeouts": 0, "corrupt": 0, "torn": 0, "rejects": 0}
+            )
+
+        dead: set[int] = set()
+        drained: set[int] = set()
+        for event in self.events:
+            d = event.data
+            if event.kind == TIMEOUT:
+                row(d["node"])["timeouts"] += 1
+            elif event.kind == CORRUPTION_DETECTED:
+                row(d["node"])["corrupt"] += 1
+            elif event.kind == TORN_WRITE:
+                row(d["node"])["torn"] += 1
+            elif event.kind == BREAKER_REJECT:
+                row(d["node"])["rejects"] += 1
+            elif event.kind == REPAIR_COPY:
+                dead.add(d["dead_node"])
+            elif event.kind == DRAIN:
+                drained.add(d["node"])
+        hists = {
+            int(label[4:]): self.node_hist.get(label)
+            for label in self.node_hist.labels()
+            if label.startswith("node") and label[4:].isdigit()
+        }
+        nodes = sorted(set(per_node) | set(hists) | dead | drained)
+        if not nodes:
+            return []
+        total_far = sum(h.count for h in hists.values()) or 1
+        lines = []
+        for node in nodes:
+            hist = hists.get(node)
+            far = hist.count if hist is not None else 0
+            counts = per_node.get(
+                node, {"timeouts": 0, "corrupt": 0, "torn": 0, "rejects": 0}
+            )
+            state = ""
+            if node in dead:
+                state = " DEAD(repaired)"
+            elif node in drained:
+                state = " drained"
+            p99 = f"p99={hist.p99:.0f}ns" if hist is not None else "p99=-"
+            lines.append(
+                f"node{node}: far={far} ({100.0 * far / total_far:.1f}%) {p99} "
+                f"timeouts={counts['timeouts']} rejects={counts['rejects']} "
+                f"corrupt={counts['corrupt']} torn={counts['torn']}{state}"
+            )
+        return lines
+
     def __repr__(self) -> str:
         return (
             f"Tracer(spans={len(self.spans)}, events={len(self.events)}, "
@@ -720,3 +827,15 @@ def set_default_tracer(tracer: Optional[Tracer]) -> None:
         client_module._default_tracer_provider = None
     else:
         client_module._default_tracer_provider = lambda: tracer
+
+
+def set_default_sink(sink: Optional[Any]) -> None:
+    """Install (or clear) a sink that every subsequently-created Tracer
+    registers at construction. This is how ``python -m repro stats``
+    feeds a TelemetryRegistry even when a script builds its own private
+    tracer instead of relying on :func:`set_default_tracer`."""
+    global _default_sink_provider
+    if sink is None:
+        _default_sink_provider = None
+    else:
+        _default_sink_provider = lambda: sink

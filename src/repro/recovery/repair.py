@@ -160,12 +160,13 @@ class RepairCoordinator:
         untouched (and pay nothing)."""
         fabric = self.allocator.fabric
         report = RepairReport(dead_node=dead_node)
-        for region in self._regions.values():
-            report.regions_scanned += 1
-            for index, base in enumerate(region.replicas):
-                if fabric.node_of(base) == dead_node:
-                    self._rebuild(client, region, index, report)
-                    break  # one replica per node by construction
+        with client.trace("repair.rebuild", dead_node=dead_node):
+            for region in self._regions.values():
+                report.regions_scanned += 1
+                for index, base in enumerate(region.replicas):
+                    if fabric.node_of(base) == dead_node:
+                        self._rebuild(client, region, index, report)
+                        break  # one replica per node by construction
         return report
 
     def _pick_spare(self, region: ReplicatedRegion, dead_node: int) -> int:

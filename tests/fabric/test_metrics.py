@@ -80,3 +80,31 @@ class TestAggregate:
 
     def test_aggregate_empty(self):
         assert aggregate([]).far_accesses == 0
+
+
+class TestCounterNames:
+    def test_counter_names_match_dataclass_fields(self):
+        """counter_names() is the authoritative list of first-class int
+        counters (everything except the custom dict)."""
+        import dataclasses
+
+        names = Metrics.counter_names()
+        fields = {
+            f.name for f in dataclasses.fields(Metrics) if f.name != "custom"
+        }
+        assert set(names) == fields
+        assert len(names) == len(set(names))
+
+    def test_telemetry_field_list_stays_in_sync(self):
+        """The drift guard the telemetry plane relies on: if a counter is
+        added to Metrics, CLIENT_COUNTER_FIELDS must learn it too (the
+        module also asserts this at import time; this test gives the
+        readable diff)."""
+        from repro.obs.telemetry import CLIENT_COUNTER_FIELDS
+
+        assert set(CLIENT_COUNTER_FIELDS) == set(Metrics.counter_names())
+
+    def test_counters_are_real_attributes(self):
+        m = Metrics()
+        for name in Metrics.counter_names():
+            assert getattr(m, name) == 0

@@ -102,3 +102,73 @@ class TestRun:
         cluster, _ = cluster_with_headroom()
         with pytest.raises(ValueError):
             Rebalancer(MigrationCoordinator(cluster.fabric), top_k=0)
+
+
+class TestRegistryHeat:
+    """Registry mode: extent heat comes from the live telemetry plane
+    instead of the extent table's translate-time counters."""
+
+    def _observed_client(self, cluster, name="observer"):
+        from repro.obs import TelemetryRegistry, Tracer
+
+        client = cluster.client(name)
+        tracer = Tracer()
+        tracer.attach(client)
+        return client, TelemetryRegistry().observe(tracer)
+
+    def test_registry_heat_drives_the_plan(self):
+        cluster, spare = cluster_with_headroom()
+        client, registry = self._observed_client(cluster)
+        for _ in range(64):
+            client.read(ES + 16, 8)
+        # Erase the table's own evidence: only the registry remembers.
+        table = cluster.fabric.extents
+        for extent in range(table.extent_count):
+            table.reset_heat(extent)
+        assert table.heat_of(1) == 0
+        bare = Rebalancer(cluster.migration, top_k=1)
+        assert bare.plan()[1] == []  # table mode sees nothing
+        observed = Rebalancer(cluster.migration, top_k=1, registry=registry)
+        overloaded, moves = observed.plan()
+        assert overloaded == 0
+        assert [(m.extent, m.src, m.dst, m.reason) for m in moves] == [
+            (1, 0, spare, "heat")
+        ]
+
+    def test_run_reports_registry_heat(self):
+        cluster, spare = cluster_with_headroom()
+        client, registry = self._observed_client(cluster)
+        for _ in range(16):
+            client.read(0, 8)
+        report = Rebalancer(
+            cluster.migration, top_k=1, registry=registry
+        ).run(client)
+        assert len(report.moves) == 1
+        assert report.moved_heat >= 16
+        assert cluster.fabric.node_of(0) == spare
+
+    def test_registry_and_table_rank_alike(self):
+        """Same traffic, same hottest extent, whichever plane measures."""
+        cluster, _ = cluster_with_headroom()
+        client, registry = self._observed_client(cluster)
+        for extent, touches in ((0, 4), (1, 12), (5, 2)):
+            for _ in range(touches):
+                client.read(extent * ES, 8)
+        table = cluster.fabric.extents
+        table_rank = sorted(
+            (0, 1, 5), key=lambda e: -table.heat_of(e)
+        )
+        registry_rank = sorted(
+            (0, 1, 5), key=lambda e: -registry.extent_heat(e)
+        )
+        assert table_rank == registry_rank
+
+    def test_cluster_rebalance_forwards_registry_kwarg(self):
+        cluster, spare = cluster_with_headroom()
+        client, registry = self._observed_client(cluster)
+        for _ in range(32):
+            client.read(ES + 16, 8)
+        for extent in range(cluster.fabric.extents.extent_count):
+            cluster.fabric.extents.reset_heat(extent)
+        report = cluster.rebalance(client, top_k=1, registry=registry)
+        assert [(m.extent, m.dst) for m in report.moves] == [(1, spare)]

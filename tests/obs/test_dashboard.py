@@ -1,0 +1,114 @@
+"""Dashboard renderers: pure functions of registry state, with the facts
+an operator needs actually present in the text."""
+
+from __future__ import annotations
+
+from repro import Cluster
+from repro.obs import (
+    SLOMonitor,
+    TelemetryRegistry,
+    Tracer,
+    render_extents,
+    render_fleet,
+    render_nodes,
+    render_slos,
+    render_structures,
+    render_top,
+)
+
+NODE_SIZE = 8 << 20
+
+
+def _observed_run():
+    cluster = Cluster(node_count=2, node_size=NODE_SIZE)
+    client = cluster.client("worker")
+    tracer = Tracer()
+    tracer.attach(client)
+    registry = TelemetryRegistry(window_ns=10_000).observe(tracer)
+    monitor = SLOMonitor(registry)
+    tree = cluster.ht_tree(bucket_count=128)
+    for key in range(64):
+        tree.put(client, key, key)
+    for key in range(64):
+        assert tree.get(client, key) == key
+    monitor.finish(client)
+    return cluster, client, registry, monitor
+
+
+def test_render_fleet_shows_totals_and_time():
+    _, client, registry, _ = _observed_run()
+    text = render_fleet(registry)
+    assert "-- fleet --" in text
+    assert f"far accesses: {client.metrics.far_accesses} total" in text
+    assert "faults: none" in text
+    assert "sim time:" in text
+
+
+def test_render_nodes_lists_every_touched_node():
+    _, _, registry, _ = _observed_run()
+    text = render_nodes(registry)
+    for node in registry.node_ids():
+        assert f"node{node}" in text
+    assert "ok" in text
+    assert "drained" not in text
+
+
+def test_render_nodes_empty_registry():
+    assert "no per-node traffic" in render_nodes(TelemetryRegistry())
+
+
+def test_render_extents_sorted_and_barred():
+    _, _, registry, _ = _observed_run()
+    text = render_extents(registry)
+    assert "-- extent heat --" in text
+    assert "#" in text
+    # Hottest-first: heat column values are non-increasing.
+    heats = []
+    for line in text.splitlines()[3:]:
+        if line.startswith("..."):
+            continue
+        recent = line.split()[3]
+        heats.append(float(recent.rstrip("kM")))
+    assert heats  # at least one extent saw traffic
+
+
+def test_render_extents_caps_rows():
+    registry = TelemetryRegistry()
+    registry._extent_size = 1
+    for extent in range(20):
+        registry.counter(("extent", extent), "heat").inc(0, extent + 1)
+    text = render_extents(registry, max_rows=4)
+    assert "and 16 cooler extents" in text
+
+
+def test_render_structures_names_the_tree():
+    _, _, registry, _ = _observed_run()
+    text = render_structures(registry)
+    assert "httree" in text
+
+
+def test_render_structures_empty_is_blank():
+    assert render_structures(TelemetryRegistry()) == ""
+
+
+def test_render_slos_shows_objectives_and_state():
+    _, _, registry, monitor = _observed_run()
+    text = render_slos(monitor)
+    assert "timeout-ratio" in text
+    assert "ok" in text
+    assert "FIRING" not in text
+
+
+def test_render_top_composes_all_sections():
+    _, _, registry, monitor = _observed_run()
+    text = render_top(registry, monitor)
+    assert text.startswith("== repro top @")
+    for section in ("-- fleet --", "-- nodes --", "-- extent heat --",
+                    "-- structures --", "-- SLOs --"):
+        assert section in text
+
+
+def test_render_top_without_monitor_skips_slos():
+    _, _, registry, _ = _observed_run()
+    text = render_top(registry)
+    assert "-- SLOs --" not in text

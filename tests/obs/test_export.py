@@ -199,3 +199,103 @@ class TestValidation:
         assert any("missing pid/tid" in p for p in problems)
         assert any("missing numeric ts" in p for p in problems)
         assert any("E with no open B" in p for p in problems)
+
+
+class TestTelemetryExports:
+    """Prometheus text + telemetry JSONL over a live registry."""
+
+    @pytest.fixture()
+    def registry(self):
+        from repro.obs import SLOMonitor, TelemetryRegistry
+
+        cluster = Cluster(node_count=2, node_size=8 << 20)
+        client = cluster.client("worker")
+        tracer = Tracer()
+        tracer.attach(client)
+        registry = TelemetryRegistry(window_ns=10_000).observe(tracer)
+        monitor = SLOMonitor(registry)
+        tree = cluster.ht_tree(bucket_count=64)
+        for key in range(32):
+            tree.put(client, key, key)
+        registry.sample_client(client)
+        monitor.finish(client)
+        self.client = client
+        return registry
+
+    def test_prometheus_text_shape(self, registry):
+        from repro.obs import prometheus_text
+
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        # TYPE headers precede their samples, one per metric name.
+        assert "# TYPE repro_far_accesses_total counter" in lines
+        assert "# TYPE repro_far_latency_ns summary" in lines
+        assert (
+            f'repro_far_accesses_total{{scope="fleet"}} '
+            f"{self.client.metrics.far_accesses}" in lines
+        )
+        # Scoped labels: client + node + structure variants all present.
+        assert any(
+            line.startswith('repro_far_accesses_total{scope="client",client="worker"}')
+            for line in lines
+        )
+        assert any('scope="node",node="' in line for line in lines)
+        assert any('scope="structure",structure="httree"' in line for line in lines)
+        # Summaries carry quantile/sum/count triads.
+        assert any('quantile="0.99"' in line for line in lines)
+        assert any(line.startswith("repro_far_latency_ns_sum") for line in lines)
+        assert any(line.startswith("repro_far_latency_ns_count") for line in lines)
+        # Sampled client gauges export with sanitized names.
+        assert any(
+            line.startswith("repro_metrics_far_accesses{") for line in lines
+        )
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        from repro.obs import TelemetryRegistry, prometheus_text
+
+        assert prometheus_text(TelemetryRegistry()) == ""
+
+    def test_write_prometheus_counts_samples(self, registry, tmp_path):
+        from repro.obs import prometheus_text, write_prometheus
+
+        path = tmp_path / "snap.prom"
+        count = write_prometheus(str(path), registry)
+        text = path.read_text()
+        assert text == prometheus_text(registry)
+        samples = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert len(samples) == count > 0
+
+    def test_telemetry_jsonl_roundtrip(self, registry, tmp_path):
+        from repro.obs import telemetry_records, write_telemetry_jsonl
+
+        path = tmp_path / "snap.metrics.jsonl"
+        count = write_telemetry_jsonl(str(path), registry)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        parsed = [json.loads(line) for line in lines]
+        records = telemetry_records(registry)
+        assert len(parsed) == len(records)
+        meta = parsed[0]
+        assert meta["type"] == "meta"
+        assert meta["schema"] == "repro-telemetry-v1"
+        assert meta["window_ns"] == registry.window_ns
+        by_kind = {}
+        for record in parsed[1:]:
+            assert record["type"] == "series"
+            by_kind.setdefault(record["series"], []).append(record)
+        assert set(by_kind) == {"counter", "gauge", "histogram"}
+        fleet_far = next(
+            r
+            for r in by_kind["counter"]
+            if r["scope"] == {"kind": "fleet"} and r["name"] == "far_accesses"
+        )
+        assert fleet_far["total"] == self.client.metrics.far_accesses
+        # Window lists replay the total exactly.
+        assert sum(v for _w, v in fleet_far["windows"]) == fleet_far["total"]
+        hist = next(
+            r
+            for r in by_kind["histogram"]
+            if r["scope"] == {"kind": "fleet"} and r["name"] == "far_latency_ns"
+        )
+        assert hist["summary"]["count"] == self.client.metrics.far_accesses

@@ -1,0 +1,102 @@
+"""Hypothesis property tests: histogram merge is a commutative monoid
+(up to sample multiset), and windowed rings roll up losslessly."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import HistogramRing, LatencyHistogram
+
+samples = st.lists(
+    st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    max_size=64,
+)
+
+
+def _merged(*parts):
+    out = LatencyHistogram()
+    for part in parts:
+        hist = LatencyHistogram(part)
+        out.merge(hist)
+    return out
+
+
+@settings(max_examples=50)
+@given(samples, samples)
+def test_merge_is_commutative(a, b):
+    ab, ba = _merged(a, b), _merged(b, a)
+    assert ab.samples() == ba.samples()
+    assert ab.count == ba.count
+    for fraction in (0.5, 0.9, 0.99):
+        assert ab.percentile(fraction) == ba.percentile(fraction)
+    assert ab.buckets() == ba.buckets()
+
+
+@settings(max_examples=50)
+@given(samples, samples, samples)
+def test_merge_is_associative(a, b, c):
+    left = _merged(a, b)
+    left.merge(LatencyHistogram(c))
+    right = LatencyHistogram(a)
+    right.merge(_merged(b, c))
+    assert left.samples() == right.samples()
+    assert left.buckets() == right.buckets()
+    for fraction in (0.5, 0.9, 0.99):
+        assert left.percentile(fraction) == right.percentile(fraction)
+
+
+@settings(max_examples=50)
+@given(samples)
+def test_merge_with_empty_is_identity(a):
+    hist = _merged(a)
+    hist.merge(LatencyHistogram())
+    assert hist.samples() == LatencyHistogram(a).samples()
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.floats(
+                min_value=0, max_value=1e9,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        max_size=128,
+    )
+)
+def test_ring_rollup_equals_unwindowed(timed_samples):
+    """Scattering samples across windows then rolling the ring back up
+    reproduces the histogram that never windowed at all."""
+    ring = HistogramRing()
+    flat = LatencyHistogram()
+    for window, value in timed_samples:
+        ring.record(window, value)
+        flat.record(value)
+    rollup = ring.rollup()
+    assert rollup.samples() == flat.samples()
+    assert rollup.count == flat.count == ring.total.count
+    assert ring.total.samples() == flat.samples()
+    if flat.count:
+        for fraction in (0.5, 0.9, 0.99):
+            assert rollup.percentile(fraction) == flat.percentile(fraction)
+    # Partial rollups partition the whole: [min, k) + [k, max] == all.
+    if timed_samples:
+        windows = [w for w, _ in timed_samples]
+        mid = (min(windows) + max(windows) + 1) // 2
+        low = ring.rollup(stop=mid)
+        high = ring.rollup(start=mid)
+        assert low.count + high.count == flat.count
+        assert ring.count_in(min(windows), max(windows) + 1) == flat.count
+
+
+@settings(max_examples=50)
+@given(
+    samples,
+    st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False),
+)
+def test_count_above_matches_naive(a, threshold):
+    hist = LatencyHistogram(a)
+    assert hist.count_above(threshold) == sum(1 for v in a if v > threshold)

@@ -1,0 +1,205 @@
+"""SLO objectives and the burn-rate monitor: validation, burn math on
+synthetic series, firing/dedup semantics, and alert trace events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster
+from repro.fabric import FaultPlan, RetryPolicy
+from repro.obs import (
+    FLEET,
+    SLOMonitor,
+    SLObjective,
+    TelemetryRegistry,
+    Tracer,
+    default_objectives,
+)
+
+NODE_SIZE = 8 << 20
+
+
+class TestObjectiveValidation:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="both", budget=0.01, bad_metric="timeouts",
+                        latency_metric="op_latency_ns")
+        with pytest.raises(ValueError):
+            SLObjective(name="neither", budget=0.01)
+
+    def test_budget_range(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="zero", budget=0.0, bad_metric="timeouts")
+        with pytest.raises(ValueError):
+            SLObjective(name="one", budget=1.0, bad_metric="timeouts")
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError):
+            SLObjective(
+                name="bad-windows", budget=0.01, bad_metric="timeouts",
+                short_windows=4, long_windows=2,
+            )
+
+    def test_duplicate_objective_names_rejected(self):
+        registry = TelemetryRegistry()
+        objective = SLObjective(name="dup", budget=0.01, bad_metric="timeouts")
+        with pytest.raises(ValueError):
+            SLOMonitor(registry, (objective, objective))
+
+    def test_default_objectives_are_valid_and_unique(self):
+        objectives = default_objectives()
+        names = [o.name for o in objectives]
+        assert len(set(names)) == len(names)
+        assert "timeout-ratio" in names
+
+
+def _seed_ratio_series(registry, *, bad_per_window, total_per_window, windows):
+    """Fill fleet timeout/far-access counters for ``windows`` windows."""
+    for w in range(windows):
+        registry.counter(FLEET, "far_accesses").inc(w, total_per_window)
+        if bad_per_window:
+            registry.counter(FLEET, "timeouts").inc(w, bad_per_window)
+    registry._current_window = windows  # all seeded windows are closed
+
+
+class TestBurnRate:
+    def test_ratio_burn_math(self):
+        registry = TelemetryRegistry()
+        # 5 bad out of 100+5 total per window against a 2% budget:
+        # burn = (5/105)/0.02 ~= 2.38
+        _seed_ratio_series(
+            registry, bad_per_window=5, total_per_window=100, windows=4
+        )
+        objective = SLObjective(
+            name="timeouts", budget=0.02, bad_metric="timeouts",
+            total_metrics=("far_accesses", "timeouts"),
+        )
+        burn = objective.burn_rate(registry, 4)
+        assert burn == pytest.approx((5 / 105) / 0.02)
+
+    def test_no_traffic_means_no_burn(self):
+        registry = TelemetryRegistry()
+        objective = SLObjective(name="t", budget=0.01, bad_metric="timeouts")
+        assert objective.burn_rate(registry, 8) == 0.0
+
+    def test_latency_burn_counts_threshold_crossers(self):
+        registry = TelemetryRegistry()
+        ring = registry.histogram(FLEET, "op_latency_ns")
+        for w in range(2):
+            for value in (100, 200, 90_000, 80_000):
+                ring.record(w, value)
+        registry._current_window = 2
+        objective = SLObjective(
+            name="lat", budget=0.1, latency_metric="op_latency_ns",
+            threshold_ns=50_000.0,
+        )
+        # Half the samples are over threshold against a 10% budget.
+        assert objective.burn_rate(registry, 2) == pytest.approx(0.5 / 0.1)
+
+
+class TestMonitorFiring:
+    def _monitor(self, *, budget=0.02):
+        registry = TelemetryRegistry()
+        objective = SLObjective(
+            name="timeouts", budget=budget, bad_metric="timeouts",
+            total_metrics=("far_accesses", "timeouts"),
+            short_windows=1, long_windows=4,
+        )
+        return registry, SLOMonitor(registry, (objective,))
+
+    def test_fires_once_per_excursion(self):
+        registry, monitor = self._monitor()
+        _seed_ratio_series(
+            registry, bad_per_window=10, total_per_window=100, windows=4
+        )
+        fired = monitor.evaluate()
+        assert [a.objective for a in fired] == ["timeouts"]
+        assert monitor.fired
+        assert monitor.state("timeouts").firing
+        # Still burning: no duplicate alert while the state stays firing.
+        assert monitor.evaluate() == []
+        assert len(monitor.alerts) == 1
+
+    def test_refires_after_recovery(self):
+        registry, monitor = self._monitor()
+        _seed_ratio_series(
+            registry, bad_per_window=10, total_per_window=100, windows=4
+        )
+        assert monitor.evaluate()
+        # Clean windows: the short burn drops to zero and the state clears.
+        for w in range(4, 8):
+            registry.counter(FLEET, "far_accesses").inc(w, 100)
+        registry._current_window = 8
+        assert monitor.evaluate() == []
+        assert not monitor.state("timeouts").firing
+        # A second excursion fires a second alert.
+        for w in range(8, 12):
+            registry.counter(FLEET, "far_accesses").inc(w, 100)
+            registry.counter(FLEET, "timeouts").inc(w, 10)
+        registry._current_window = 12
+        assert monitor.evaluate()
+        assert monitor.state("timeouts").fired_count == 2
+
+    def test_needs_both_windows(self):
+        """One bad window inside a long clean history does not alert."""
+        registry, monitor = self._monitor(budget=0.05)
+        # 3 clean windows then one with a mild blip: short burn is high
+        # but the long window dilutes it below threshold.
+        for w in range(3):
+            registry.counter(FLEET, "far_accesses").inc(w, 1_000)
+        registry.counter(FLEET, "far_accesses").inc(3, 100)
+        registry.counter(FLEET, "timeouts").inc(3, 12)
+        registry._current_window = 4
+        assert monitor.evaluate() == []
+        state = monitor.state("timeouts")
+        assert state.last_short >= 2.0
+        assert state.last_long < 2.0
+
+    def test_finish_evaluates_partial_window(self):
+        registry, monitor = self._monitor()
+        # All the damage is in the still-open window: plain evaluation
+        # sees nothing, finish() includes it.
+        registry.counter(FLEET, "far_accesses").inc(0, 100)
+        registry.counter(FLEET, "timeouts").inc(0, 10)
+        registry._current_window = 0
+        assert monitor.evaluate() == []
+        monitor.finish()
+        assert monitor.fired
+
+
+class TestEndToEnd:
+    def test_alert_emitted_as_trace_event(self):
+        cluster = Cluster(node_count=2, node_size=NODE_SIZE)
+        cluster.inject_faults(seed=11, plan=FaultPlan().random_timeouts(0.25))
+        client = cluster.client(
+            "worker", retry_policy=RetryPolicy(max_attempts=6)
+        )
+        tracer = Tracer()
+        tracer.attach(client)
+        registry = TelemetryRegistry(window_ns=20_000).observe(tracer)
+        monitor = SLOMonitor(registry)
+        addr = cluster.allocator.alloc_words(1)
+        for _ in range(200):
+            client.read_u64(addr)
+        monitor.finish(client)
+        assert monitor.alerts_for("timeout-ratio")
+        events = tracer.events_by_kind("slo_alert")
+        assert len(events) == len(monitor.alerts)
+        assert events[0].data["objective"] == monitor.alerts[0].objective
+        # ...and the registry counted its own alert stream.
+        assert registry.counter_total(FLEET, "slo_alerts") == len(events)
+
+    def test_clean_run_never_fires(self):
+        cluster = Cluster(node_count=2, node_size=NODE_SIZE)
+        client = cluster.client("worker")
+        tracer = Tracer()
+        tracer.attach(client)
+        registry = TelemetryRegistry(window_ns=20_000).observe(tracer)
+        monitor = SLOMonitor(registry)
+        tree = cluster.ht_tree(bucket_count=128)
+        for key in range(64):
+            tree.put(client, key, key)
+        for key in range(64):
+            assert tree.get(client, key) == key
+        monitor.finish(client)
+        assert monitor.alerts == []

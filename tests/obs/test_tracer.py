@@ -430,3 +430,61 @@ class TestIntegrityAndRepairEvents:
         summary = tracer.summary()
         assert "breaker: b node0 state=open" in summary
         assert "trips=1" in summary
+
+
+class TestNodeSummaryLines:
+    def test_per_node_breakdown_in_summary(self):
+        """`repro trace` summaries carry a per-node line: traffic share,
+        tail charge, and fault counts, keyed by memory node."""
+        cluster = Cluster(node_count=2, node_size=8 << 20)
+        cluster.inject_faults(
+            seed=5, plan=FaultPlan().random_timeouts(0.3, node=1)
+        )
+        client = cluster.client(
+            "worker", retry_policy=RetryPolicy(max_attempts=6)
+        )
+        tracer = Tracer()
+        tracer.attach(client)
+        # Spread traffic over both nodes so both rows materialize.
+        near = cluster.allocator.alloc_words(1)
+        from repro.alloc import on_node
+
+        far = cluster.allocator.alloc_words(1, on_node(1))
+        for _ in range(20):
+            client.read_u64(near)
+            client.read_u64(far)
+        tracer.finish()
+        summary = tracer.summary()
+        assert "node0: far=" in summary
+        assert "node1: far=" in summary
+        node1 = next(
+            line for line in summary.splitlines()
+            if line.startswith("node1:")
+        )
+        # The faulted node's row owns the timeouts; the clean one has none.
+        assert f"timeouts={client.metrics.timeouts}" in node1
+        node0 = next(
+            line for line in summary.splitlines()
+            if line.startswith("node0:")
+        )
+        assert "timeouts=0" in node0
+        assert "p99=" in node0
+        # Traffic shares are percentages that cover all far accesses.
+        assert "(" in node0 and "%)" in node0
+
+    def test_drained_and_dead_markers(self):
+        cluster = Cluster(node_count=2, node_size=1 << 20)
+        cluster.add_node()  # empty headroom for the drain
+        client = cluster.client("driver")
+        tracer = Tracer()
+        tracer.attach(client)
+        base = cluster.allocator.alloc(4096)
+        client.write_u64(base, 7)
+        cluster.drain_node(0, client)
+        tracer.finish()
+        summary = tracer.summary()
+        node0 = next(
+            line for line in summary.splitlines()
+            if line.startswith("node0:")
+        )
+        assert "drained" in node0

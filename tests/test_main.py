@@ -139,3 +139,66 @@ def test_topology_json_is_machine_readable(capsys):
     assert len(dump["nodes"]) == 3
     assert dump["extent_count"] == len(dump["extents"])
     assert all(not info["remapped"] for info in dump["extents"])
+
+
+def test_stats_subcommand_renders_and_exports(tmp_path, capsys):
+    assert main(["stats", "quickstart", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "live telemetry of" in out
+    assert "== repro top @" in out
+    assert "-- fleet --" in out and "-- SLOs --" in out
+    assert "timeout-ratio" in out
+
+    prom = tmp_path / "quickstart.prom"
+    jsonl = tmp_path / "quickstart.metrics.jsonl"
+    assert prom.is_file() and jsonl.is_file()
+    text = prom.read_text()
+    assert "# TYPE repro_far_accesses_total counter" in text
+    assert 'repro_far_accesses_total{scope="fleet"}' in text
+    meta = json.loads(jsonl.read_text().splitlines()[0])
+    assert meta["schema"] == "repro-telemetry-v1"
+
+
+def test_stats_forbid_alerts_gate_on_clean_run(capsys):
+    assert main(["stats", "quickstart", "--forbid-alerts"]) == 0
+    assert "no SLO alerts fired" in capsys.readouterr().out
+
+
+def test_stats_expect_alerts_gate_on_fault_burst(capsys):
+    assert main(["stats", "fault_burst", "--expect-alerts"]) == 0
+    out = capsys.readouterr().out
+    assert "timeout-ratio" in out
+    assert "FIRING" in out or "alert" in out
+
+
+def test_stats_expect_alerts_fails_when_clean(capsys):
+    assert main(["stats", "quickstart", "--expect-alerts"]) == 1
+    assert "expected SLO alerts" in capsys.readouterr().out
+
+
+def test_stats_forbid_alerts_fails_under_faults(capsys):
+    assert main(["stats", "fault_burst", "--forbid-alerts"]) == 1
+    assert "unexpected SLO alert" in capsys.readouterr().out
+
+
+def test_top_once_renders_final_frame(capsys):
+    assert main(["top", "quickstart", "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "final frame" in out
+    assert "-- extent heat --" in out
+    assert "httree" in out
+
+
+def test_top_unknown_target_is_an_error():
+    with pytest.raises(SystemExit, match="cannot find"):
+        main(["top", "no-such-example"])
+
+
+def test_top_shows_drained_layout_after_migration(capsys):
+    """`repro top --once` over the elastic-cluster drain: the node table
+    marks the drained node and the extent table shows new homes."""
+    assert main(["top", "elastic_cluster", "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "drained" in out
+    assert "remaps" in out
+    assert "migration" in out  # the coordinator's structure scope
