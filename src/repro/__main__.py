@@ -14,6 +14,14 @@
 * ``python -m repro sanitize <example>`` — run an example with the
   budget sanitizer active and print the per-op far-access budget table;
   nonzero on any declared-ceiling violation.
+* ``python -m repro cost [--out cost.json] [--check]`` — static
+  far-access cost certification (:mod:`repro.analysis.fmcost`): infer
+  fast/worst bounds for every registered structure op, verify the
+  ``@far_budget`` declarations, emit the certificate, and (``--check``)
+  diff it against the committed ``analysis/cost_baseline.json``.
+* ``python -m repro check [--sanitize EXAMPLE ...]`` — the unified gate:
+  lint + cost certification (+ sanitized example runs) with one exit
+  code and a combined JSON report (``--report``).
 * ``python -m repro races <trace.jsonl>`` — happens-before race
   detection over an exported JSONL trace; nonzero on plain-access races.
 * ``python -m repro topology`` — dump a cluster's extent table (extent →
@@ -297,6 +305,187 @@ def _sanitize(target: str, strict: bool) -> int:
     return 1 if sanitizer.violations else 0
 
 
+def _default_cost_paths() -> list[str]:
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    return [os.path.dirname(__file__)]
+
+
+def _default_baseline_path() -> str:
+    candidate = os.path.join("analysis", "cost_baseline.json")
+    if os.path.exists(candidate):
+        return candidate
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    return os.path.join(root, "analysis", "cost_baseline.json")
+
+
+def _cost_certificate(
+    paths: Sequence[str], structures: Optional[Sequence[str]] = None
+) -> dict:
+    from repro.analysis import fmcost
+
+    model = fmcost.analyze_paths(
+        list(paths) or _default_cost_paths(), structures=structures
+    )
+    return fmcost.build_certificate(model)
+
+
+def _cost(
+    paths: Sequence[str],
+    out: Optional[str],
+    check: bool,
+    update_baseline: bool,
+    baseline: Optional[str],
+    as_json: bool,
+    structures: Optional[str] = None,
+) -> int:
+    from repro.analysis import fmcost
+
+    wanted = (
+        [name.strip() for name in structures.split(",") if name.strip()]
+        if structures
+        else None
+    )
+    cert = _cost_certificate(paths, structures=wanted)
+    baseline_path = baseline or _default_baseline_path()
+    if as_json:
+        import json
+
+        print(json.dumps(cert, indent=2, sort_keys=True))
+    else:
+        print(fmcost.render_certificate(cert))
+    if out is not None:
+        fmcost.write_certificate(cert, out)
+        print(f"wrote certificate to {out}")
+    status = 0
+    failures = fmcost.certificate_failures(cert)
+    if failures:
+        print(f"fmcost: {len(failures)} failing operation(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        status = 1
+    if update_baseline:
+        os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+        fmcost.write_certificate(cert, baseline_path)
+        print(f"updated baseline {baseline_path}")
+        return status
+    if check:
+        if not os.path.isfile(baseline_path):
+            print(f"fmcost: missing baseline {baseline_path} "
+                  "(run: python -m repro cost --update-baseline)")
+            return 1
+        diffs = fmcost.diff_certificates(
+            fmcost.load_certificate(baseline_path), cert
+        )
+        if diffs:
+            print(
+                f"fmcost: certificate diverges from {baseline_path} "
+                f"({len(diffs)} change(s)):"
+            )
+            for diff in diffs:
+                print(f"  - {diff}")
+            print(
+                "cost changed? regenerate deliberately with: "
+                "python -m repro cost --update-baseline"
+            )
+            status = 1
+        else:
+            print(f"fmcost: certificate matches baseline {baseline_path}")
+    return status
+
+
+def _check(
+    paths: Sequence[str],
+    sanitize_targets: Sequence[str],
+    baseline: Optional[str],
+    report_path: Optional[str],
+    as_json: bool,
+) -> int:
+    """One gate: lint + cost certification (+ sanitized examples)."""
+    import json
+
+    from repro.analysis import fmcost
+    from repro.analysis.budget import BudgetSanitizer
+    from repro.analysis.fmlint import lint_paths
+
+    lint_targets = list(paths) or ["src", "examples"]
+    findings = lint_paths(lint_targets)
+    for finding in findings:
+        print(finding.format())
+    print(f"lint: {len(findings)} finding(s)")
+
+    cert = _cost_certificate([])
+    cost_failures = fmcost.certificate_failures(cert)
+    baseline_path = baseline or _default_baseline_path()
+    if os.path.isfile(baseline_path):
+        cost_diffs = fmcost.diff_certificates(
+            fmcost.load_certificate(baseline_path), cert
+        )
+    else:
+        cost_diffs = [f"missing baseline {baseline_path}"]
+    for problem in cost_failures + cost_diffs:
+        print(f"cost: {problem}")
+    print(
+        f"cost: {len(cost_failures)} failing verdict(s), "
+        f"{len(cost_diffs)} baseline change(s)"
+    )
+
+    sanitize_results = []
+    for target in sanitize_targets:
+        path = _resolve_target(target)
+        sanitizer = BudgetSanitizer(strict=False)
+        with sanitizer:
+            runpy.run_path(path, run_name="__main__")
+        violations = list(sanitizer.violations)
+        sanitize_results.append(
+            {"target": target, "violations": violations}
+        )
+        print(
+            f"sanitize {target}: {len(violations)} violation(s)"
+        )
+        for violation in violations:
+            print(f"  - {violation}")
+
+    ok = (
+        not findings
+        and not cost_failures
+        and not cost_diffs
+        and all(not r["violations"] for r in sanitize_results)
+    )
+    report = {
+        "ok": ok,
+        "lint": {
+            "paths": lint_targets,
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "code": f.code,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        },
+        "cost": {
+            "baseline": baseline_path,
+            "failures": cost_failures,
+            "baseline_diffs": cost_diffs,
+            "summary": cert.get("summary", {}),
+        },
+        "sanitize": sanitize_results,
+    }
+    if report_path is not None:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote combined report to {report_path}")
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"check: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _races(path: str) -> int:
     from repro.analysis.races import detect_races_in_file
 
@@ -423,6 +612,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="record ceiling violations instead of raising at the call site",
     )
+    cost_parser = sub.add_parser(
+        "cost",
+        help="static far-access cost certification (fmcost)",
+    )
+    cost_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="source roots to analyze (default: src/repro)",
+    )
+    cost_parser.add_argument(
+        "--out", default=None, help="write the JSON certificate here"
+    )
+    cost_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="diff the certificate against the committed baseline "
+        "(nonzero on any cost change or failing verdict)",
+    )
+    cost_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate the committed baseline from this run",
+    )
+    cost_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline path (default: analysis/cost_baseline.json)",
+    )
+    cost_parser.add_argument(
+        "--json", action="store_true", help="print the certificate as JSON"
+    )
+    cost_parser.add_argument(
+        "--structures",
+        default=None,
+        help="comma-separated structure classes to certify "
+        "(default: the registered far structures)",
+    )
+    check_parser = sub.add_parser(
+        "check",
+        help="unified gate: lint + cost certification (+ sanitized examples)",
+    )
+    check_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="lint roots (default: src examples); cost always covers src/repro",
+    )
+    check_parser.add_argument(
+        "--sanitize",
+        action="append",
+        default=[],
+        metavar="EXAMPLE",
+        help="also run EXAMPLE under the budget sanitizer (repeatable)",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="cost baseline path (default: analysis/cost_baseline.json)",
+    )
+    check_parser.add_argument(
+        "--report", default=None, help="write the combined JSON report here"
+    )
+    check_parser.add_argument(
+        "--json", action="store_true", help="print the combined report as JSON"
+    )
     races_parser = sub.add_parser(
         "races",
         help="happens-before race detection over a .trace.jsonl export",
@@ -519,6 +772,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _lint(args.paths, args.list_rules)
     if args.command == "sanitize":
         return _sanitize(args.target, strict=not args.no_strict)
+    if args.command == "cost":
+        return _cost(
+            args.paths,
+            args.out,
+            args.check,
+            args.update_baseline,
+            args.baseline,
+            args.json,
+            args.structures,
+        )
+    if args.command == "check":
+        return _check(
+            args.paths,
+            args.sanitize,
+            args.baseline,
+            args.report,
+            args.json,
+        )
     if args.command == "races":
         return _races(args.trace_jsonl)
     if args.command == "stats":

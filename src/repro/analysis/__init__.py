@@ -1,6 +1,6 @@
 """Static and dynamic analysis for the far-memory reproduction.
 
-Three cooperating passes turn the paper's access-count contracts into
+Four cooperating passes turn the paper's access-count contracts into
 machine-checked invariants:
 
 * :mod:`repro.analysis.fmlint` — a static AST linter for far-memory
@@ -8,10 +8,24 @@ machine-checked invariants:
 * :mod:`repro.analysis.budget` — ``@far_budget`` declarations plus a
   runtime sanitizer asserting per-op far-access budgets
   (``python -m repro sanitize``).
+* :mod:`repro.analysis.fmcost` — a static abstract interpreter that
+  certifies worst-case far-access bounds for every declared budget and
+  diffs the certificate against a committed baseline
+  (``python -m repro cost``; unified gate: ``python -m repro check``).
 * :mod:`repro.analysis.races` — an offline happens-before race detector
   over exported ``repro-trace-v1`` traces (``python -m repro races``).
 """
 
+from repro.analysis.fmcost import (
+    FAILING_VERDICTS,
+    analyze_paths,
+    build_certificate,
+    certificate_failures,
+    diff_certificates,
+    load_certificate,
+    render_certificate,
+    write_certificate,
+)
 from repro.analysis.fmlint import (
     Finding,
     RULES,
@@ -21,9 +35,17 @@ from repro.analysis.fmlint import (
 )
 
 __all__ = [
+    "FAILING_VERDICTS",
     "Finding",
     "RULES",
+    "analyze_paths",
+    "build_certificate",
+    "certificate_failures",
+    "diff_certificates",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_certificate",
+    "render_certificate",
+    "write_certificate",
 ]

@@ -37,6 +37,14 @@ far accesses.
 
 With no sanitizer active the decorator is a constant-time passthrough —
 budgets cost nothing in normal runs and benchmarks.
+
+Every declaration here is also checked *statically*:
+:mod:`repro.analysis.fmcost` infers each operation's worst-case
+far-access bound from the AST and certifies it against the decorator
+(``python -m repro cost --check``; DESIGN.md §14). The sanitizer and
+the certifier meter the same quantity — the acting client's exact
+``Metrics`` delta — so the static bound is a theorem the runtime checks
+can only confirm.
 """
 
 from __future__ import annotations

@@ -1,0 +1,1593 @@
+"""``fmcost`` — static far-access cost certification.
+
+The paper prices every operation of a far data structure in *far
+accesses* (C4: HT-tree lookups cost 1 and stores 2; C5: queue ops cost 1
+on the fast path; C2: one-sided designs beat RPC only while those counts
+hold).  The ``@far_budget`` declarations state those prices on the code
+and the :class:`~repro.analysis.budget.BudgetSanitizer` spot-checks them
+at runtime — but a regression that adds a far access to a hot path is
+only caught if a sanitized run happens to exercise it.  ``fmcost``
+closes that gap: it *proves* the budgets from the source.
+
+It is an interprocedural abstract interpreter over the AST of
+``src/repro/``.  Far-access costs form a small expression lattice::
+
+    cost ::= c                    a constant number of far accesses
+           | c + p*n              p extra accesses per item of a bulk
+                                  argument (multiget, enqueue_many, ...)
+           | cost  [retry]        a retry-exempt window: the bound holds
+                                  per attempt of an annotated CAS loop
+           | T (top)              an unbounded far-access loop
+
+Leaves are the metered :class:`~repro.fabric.client.Client` operations
+(every synchronous shim, ``submit()``, ``charge_far_access()``,
+``write_framed()``, ``read_verified()`` — each is exactly one far
+access, mirroring ``Client._account_far``).  Raw ``fabric.*`` calls are
+deliberately **free**: they bypass client metering, which is fmlint
+FM003's job to flag, not fmcost's to price.  Per-function summaries are
+propagated bottom-up through the call graph — a fixpoint handles
+recursion (widened to T).  Receivers resolve through annotations and
+constructor flow; an untyped receiver falls back to the repo-wide
+method-name index only when exactly one class defines the name
+(ambiguous names are assumed near-only and surfaced as diagnostics —
+joining them would lift the whole graph to T through ``dict.get``
+look-alikes).  The fabric layer below the client is the cost-bearing
+leaf set and is not itself analyzed (its internal fan-out is already
+priced into the one-access-per-op model), with the exception of
+``fabric/replication.py``, whose :class:`ReplicatedRegion` is a far data
+structure in its own right.
+
+Two bounds are inferred per operation:
+
+``fast``
+    The cheapest *non-raising* path (exceptions are slow paths by
+    convention, and the runtime sanitizer never records a raising call).
+    Loops contribute nothing unless they are provably entered: a
+    ``while True`` body runs at least once, and a loop over a bulk
+    argument is charged one pass at ``p*n`` so that per-item regressions
+    stay visible.  ``inferred fast > declared fast`` is a
+    **regression**; ``<`` is **slack** (informational).
+``worst``
+    An additive upper bound over non-raising executions.  Unbounded
+    far-access loops yield T; a loop annotated ``# fmcost: retry`` is
+    charged one attempt and marked retry-exempt (the declared ceiling
+    then bounds each attempt, exactly like the sanitizer's view of a
+    contended CAS).  A finite declared ``ceiling`` must dominate the
+    inferred worst.
+
+Escape hatches, used sparingly and justified in place:
+
+* ``# fmcost: cost=N`` on a ``def`` line fixes that function's summary
+  to N (for costs invisible to the AST, e.g. a far access issued through
+  ``getattr``).
+* ``# fmcost: retry`` on a loop line marks a bounded-per-attempt retry
+  window.
+
+The checker verifies every ``@far_budget`` declaration against the
+inferred bounds, flags budget-less public far-ops on the registered
+structures, and emits a machine-readable **cost certificate** (one JSON
+record per operation: declared budget, inferred expression, verdict).
+``python -m repro cost --check`` re-derives the certificate and diffs it
+against the committed baseline ``analysis/cost_baseline.json`` — a PR
+that changes the far-access complexity of any operation must regenerate
+the baseline, so cost regressions become visible diffs.
+
+Soundness caveats (see DESIGN.md §14): costs attach to *client* ops, so
+metering bypasses (FM003) are invisible here; dynamic dispatch through
+``getattr`` or an ambiguously-named untyped receiver is assumed
+near-only (use ``# fmcost: cost=N`` where that is wrong) — the
+hypothesis bridge test (``tests/analysis/test_cost_soundness.py``)
+checks the static bound against sanitizer-observed deltas end to end.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .fmlint import FAR_SYNC_OPS, REGISTERED_FAR_STRUCTURES
+
+CERT_FORMAT = "fmcost-cert-v1"
+
+#: Verdicts that fail ``repro cost --check``.
+FAILING_VERDICTS = frozenset({"regression", "over_ceiling", "missing_budget"})
+
+#: Client methods that cost far accesses beyond the sync-shim set.
+#: ``submit`` is one posted op; ``charge_far_access`` is the explicit
+#: accounting hook; ``write_framed``/``read_verified`` are one framed op
+#: each (``read_verified`` pays +1 per verify-miss fallback address).
+_INTRINSIC_EXTRA = frozenset(
+    {"submit", "charge_far_access", "write_framed", "read_verified"}
+)
+
+_COST_DIRECTIVE_RE = re.compile(r"#\s*fmcost:\s*cost=(\d+)")
+_RETRY_DIRECTIVE_RE = re.compile(r"#\s*fmcost:\s*retry\b")
+
+_CONSTRUCTOR_NAMES = frozenset({"create", "create_framed", "open"})
+
+# Widening: a summary still growing after this many fixpoint passes is in
+# a recursive cycle with far-access growth — its worst bound is T.
+_WIDEN_PASSES = 12
+_MAX_PASSES = 32
+
+
+# ---------------------------------------------------------------------------
+# The cost lattice
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cost:
+    """One point of the worst-case lattice: ``const + per_item*n``,
+    optionally T (``unbounded``) and/or retry-exempt."""
+
+    const: int = 0
+    per_item: int = 0
+    unbounded: bool = False
+    retry: bool = False
+
+    def is_zero(self) -> bool:
+        return not (self.const or self.per_item or self.unbounded)
+
+    def add(self, other: "Cost") -> "Cost":
+        retry = self.retry or other.retry
+        if self.unbounded or other.unbounded:
+            return Cost(unbounded=True, retry=retry)
+        return Cost(
+            self.const + other.const,
+            self.per_item + other.per_item,
+            False,
+            retry,
+        )
+
+    def join(self, other: "Cost") -> "Cost":
+        retry = self.retry or other.retry
+        if self.unbounded or other.unbounded:
+            return Cost(unbounded=True, retry=retry)
+        return Cost(
+            max(self.const, other.const),
+            max(self.per_item, other.per_item),
+            False,
+            retry,
+        )
+
+    def times_const(self, k: int) -> "Cost":
+        if k <= 0 or self.is_zero():
+            return Cost(retry=self.retry) if k > 0 else Cost()
+        if self.unbounded:
+            return Cost(unbounded=True, retry=self.retry)
+        return Cost(self.const * k, self.per_item * k, False, self.retry)
+
+    def times_n(self) -> "Cost":
+        """Multiply by the symbolic bulk size ``n``."""
+        if self.is_zero():
+            return self
+        if self.unbounded or self.per_item:
+            return Cost(unbounded=True, retry=self.retry)
+        return Cost(0, self.const, False, self.retry)
+
+    def times_unbounded(self) -> "Cost":
+        if self.is_zero():
+            return self
+        return Cost(unbounded=True, retry=self.retry)
+
+    def render(self) -> str:
+        if self.unbounded:
+            text = "T"
+        else:
+            terms = []
+            if self.const or not self.per_item:
+                terms.append(str(self.const))
+            if self.per_item:
+                terms.append(f"{self.per_item}*n")
+            text = " + ".join(terms)
+        return text + (" [retry]" if self.retry else "")
+
+
+ZERO = Cost()
+TOP = Cost(unbounded=True)
+
+#: Fast-path (min) costs are ``(const, per_item)`` pairs; ``None`` marks
+#: an unreachable outcome (no non-raising path).
+MinCost = Optional[tuple]
+
+
+def _madd(a: MinCost, b: MinCost) -> MinCost:
+    if a is None or b is None:
+        return None
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _mbest(*options: MinCost) -> MinCost:
+    best = None
+    for option in options:
+        if option is None:
+            continue
+        if best is None or (option[0] + option[1], option[1]) < (
+            best[0] + best[1],
+            best[1],
+        ):
+            best = option
+    return best
+
+
+def _render_min(m: MinCost) -> str:
+    if m is None:
+        return "unreachable"
+    const, per_item = m
+    if per_item and const:
+        return f"{const} + {per_item}*n"
+    if per_item:
+        return f"{per_item}*n"
+    return str(const)
+
+
+# ---------------------------------------------------------------------------
+# Source index
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BudgetDecl:
+    """A ``@far_budget(...)`` declaration as read from the AST."""
+
+    fast: Optional[int]
+    ceiling: Optional[int]
+    per_item: bool
+    claim: Optional[str]
+
+
+@dataclass
+class FuncInfo:
+    name: str
+    qualname: str  # "module:Class.method" or "module:func"
+    module: str
+    path: str
+    cls: Optional[str]
+    node: ast.AST
+    params: list = field(default_factory=list)
+    param_anns: dict = field(default_factory=dict)
+    is_classmethod: bool = False
+    is_staticmethod: bool = False
+    is_property: bool = False
+    budget: Optional[BudgetDecl] = None
+    has_budget_decorator: bool = False
+    cost_override: Optional[int] = None
+    return_ann: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    path: str
+    line: int
+    bases: list = field(default_factory=list)
+    methods: dict = field(default_factory=dict)  # name -> FuncInfo
+    attr_anns: dict = field(default_factory=dict)  # self.x -> ann string
+
+
+def _is_leaf_module(path: str) -> bool:
+    """Fabric modules below the Client are the cost-bearing leaf set —
+    everything except replication.py, which hosts a far data structure."""
+    normalized = path.replace(os.sep, "/")
+    return (
+        "repro/fabric/" in normalized
+        and os.path.basename(normalized) != "replication.py"
+    )
+
+
+def _module_name(path: str) -> str:
+    normalized = path.replace(os.sep, "/")
+    marker = "src/repro/"
+    idx = normalized.rfind(marker)
+    if idx >= 0:
+        rel = normalized[idx + len("src/") :]
+    elif "/repro/" in normalized:
+        rel = "repro/" + normalized.split("/repro/", 1)[1]
+    else:
+        rel = os.path.basename(normalized)
+    if rel.endswith(".py"):
+        rel = rel[:-3]
+    return rel.replace("/", ".")
+
+
+def _decorator_terminal(dec: ast.AST) -> Optional[str]:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _budget_from_decorators(node) -> tuple[Optional[BudgetDecl], bool]:
+    for dec in node.decorator_list:
+        if _decorator_terminal(dec) != "far_budget":
+            continue
+        if not isinstance(dec, ast.Call):
+            return None, True
+        fast = ceiling = claim = None
+        per_item = False
+        if dec.args and isinstance(dec.args[0], ast.Constant):
+            fast = dec.args[0].value
+        for kw in dec.keywords:
+            if not isinstance(kw.value, ast.Constant):
+                continue
+            if kw.arg == "ceiling":
+                ceiling = kw.value.value
+            elif kw.arg == "per_item":
+                per_item = bool(kw.value.value)
+            elif kw.arg == "claim":
+                claim = kw.value.value
+        return BudgetDecl(fast, ceiling, per_item, claim), True
+    return None, False
+
+
+class _Directives:
+    """Per-file ``# fmcost:`` magic comments, looked up by line."""
+
+    def __init__(self, source: str) -> None:
+        self.cost_by_line: dict[int, int] = {}
+        self.retry_lines: set[int] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _COST_DIRECTIVE_RE.search(text)
+            if match:
+                self.cost_by_line[lineno] = int(match.group(1))
+            if _RETRY_DIRECTIVE_RE.search(text):
+                self.retry_lines.add(lineno)
+
+    def cost_for(self, node: ast.AST) -> Optional[int]:
+        line = getattr(node, "lineno", 0)
+        return self.cost_by_line.get(line, self.cost_by_line.get(line - 1))
+
+    def is_retry(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        return line in self.retry_lines or (line - 1) in self.retry_lines
+
+
+class Index:
+    """Every class and function under the analyzed roots."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, list[ClassInfo]] = {}
+        self.functions: dict[str, FuncInfo] = {}  # qualname -> info
+        self.methods_by_name: dict[str, list[FuncInfo]] = {}
+        self.directives: dict[str, _Directives] = {}  # path -> directives
+
+    # -- construction ----------------------------------------------------
+
+    def add_file(self, path: str, source: str) -> None:
+        tree = ast.parse(source, filename=path)
+        module = _module_name(path)
+        directives = _Directives(source)
+        self.directives[path] = directives
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._add_class(node, module, path, directives)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(node, module, path, None, directives)
+
+    def _add_class(
+        self, node: ast.ClassDef, module: str, path: str, directives
+    ) -> None:
+        info = ClassInfo(
+            name=node.name,
+            module=module,
+            path=path,
+            line=node.lineno,
+            bases=[b.id for b in node.bases if isinstance(b, ast.Name)],
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                info.attr_anns[stmt.target.id] = ast.unparse(stmt.annotation)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._add_function(
+                    stmt, module, path, node.name, directives
+                )
+                info.methods[stmt.name] = fn
+                if stmt.name == "__init__" or True:
+                    self._harvest_self_anns(stmt, fn, info)
+        self.classes.setdefault(node.name, []).append(info)
+
+    @staticmethod
+    def _harvest_self_anns(stmt, fn: FuncInfo, info: ClassInfo) -> None:
+        """``self.x: T = ...`` and ``self.x = <annotated param>``."""
+        for sub in ast.walk(stmt):
+            if (
+                isinstance(sub, ast.AnnAssign)
+                and isinstance(sub.target, ast.Attribute)
+                and isinstance(sub.target.value, ast.Name)
+                and sub.target.value.id == "self"
+            ):
+                info.attr_anns.setdefault(
+                    sub.target.attr, ast.unparse(sub.annotation)
+                )
+            elif (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Attribute)
+                and isinstance(sub.targets[0].value, ast.Name)
+                and sub.targets[0].value.id == "self"
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id in fn.param_anns
+            ):
+                info.attr_anns.setdefault(
+                    sub.targets[0].attr, fn.param_anns[sub.value.id]
+                )
+
+    def _add_function(
+        self, node, module: str, path: str, cls: Optional[str], directives
+    ) -> FuncInfo:
+        qual = f"{module}:{cls}.{node.name}" if cls else f"{module}:{node.name}"
+        decorators = {
+            _decorator_terminal(d) for d in node.decorator_list
+        }
+        budget, has_decorator = _budget_from_decorators(node)
+        params = [a.arg for a in node.args.args]
+        anns = {
+            a.arg: ast.unparse(a.annotation)
+            for a in node.args.args
+            if a.annotation is not None
+        }
+        info = FuncInfo(
+            name=node.name,
+            qualname=qual,
+            module=module,
+            path=path,
+            cls=cls,
+            node=node,
+            params=params,
+            param_anns=anns,
+            is_classmethod="classmethod" in decorators,
+            is_staticmethod="staticmethod" in decorators,
+            is_property="property" in decorators or "cached_property" in decorators,
+            budget=budget,
+            has_budget_decorator=has_decorator,
+            cost_override=directives.cost_for(node),
+            return_ann=(
+                ast.unparse(node.returns) if node.returns is not None else None
+            ),
+        )
+        self.functions[qual] = info
+        if cls:
+            self.methods_by_name.setdefault(node.name, []).append(info)
+        return info
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup_method(self, cls_name: str, method: str) -> Optional[FuncInfo]:
+        for info in self.classes.get(cls_name, ()):
+            if method in info.methods:
+                return info.methods[method]
+            for base in info.bases:
+                found = self.lookup_method(base, method)
+                if found is not None:
+                    return found
+        return None
+
+    def class_info(self, cls_name: str) -> Optional[ClassInfo]:
+        infos = self.classes.get(cls_name)
+        return infos[0] if infos else None
+
+
+# ---------------------------------------------------------------------------
+# Summaries and the interprocedural fixpoint
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Summary:
+    fast: MinCost  # None = no non-raising path found (yet)
+    worst: Cost
+
+    def render(self) -> str:
+        return f"fast={_render_min(self.fast)} worst={self.worst.render()}"
+
+
+_BOTTOM = Summary(fast=None, worst=ZERO)
+
+
+class CostModel:
+    """The analyzer: index, fixpoint over summaries, budget verdicts."""
+
+    def __init__(self, structures: Optional[Iterable[str]] = None) -> None:
+        self.index = Index()
+        self.structures = frozenset(
+            structures if structures is not None else REGISTERED_FAR_STRUCTURES
+        )
+        self.summaries: dict[tuple, Summary] = {}
+        self._demanded: set[tuple] = set()
+        self._widened: set[tuple] = set()
+        self.diagnostics: list[str] = []
+        self._diag_seen: set[str] = set()
+
+    # -- loading ---------------------------------------------------------
+
+    def load_paths(self, paths: Iterable[str]) -> "CostModel":
+        for root in paths:
+            if os.path.isfile(root):
+                self._load_file(root)
+                continue
+            for dirpath, dirnames, filenames in os.walk(root):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        self._load_file(os.path.join(dirpath, filename))
+        return self
+
+    def _load_file(self, path: str) -> None:
+        if _is_leaf_module(path):
+            return
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        self.index.add_file(path, source)
+
+    # -- diagnostics -----------------------------------------------------
+
+    def _diag(self, message: str) -> None:
+        if message not in self._diag_seen:
+            self._diag_seen.add(message)
+            self.diagnostics.append(message)
+
+    # -- fixpoint --------------------------------------------------------
+
+    def solve(self) -> None:
+        for info in self.index.functions.values():
+            self._demanded.add((info.qualname, self._default_ctx(info)))
+        passes = 0
+        while passes < _MAX_PASSES:
+            passes += 1
+            changed: set[tuple] = set()
+            for key in sorted(self._demanded):
+                new = self._evaluate(key)
+                if new != self.summaries.get(key, _BOTTOM):
+                    self.summaries[key] = new
+                    changed.add(key)
+            if not changed:
+                break
+            if passes >= _WIDEN_PASSES:
+                # Growth beyond the widening horizon means a recursive
+                # far-access cycle: its worst-case is unbounded.
+                for key in changed:
+                    current = self.summaries[key]
+                    self._widened.add(key)
+                    self.summaries[key] = Summary(
+                        fast=current.fast,
+                        worst=Cost(unbounded=True, retry=current.worst.retry),
+                    )
+
+    def _default_ctx(self, info: FuncInfo) -> frozenset:
+        if info.budget is not None and info.budget.per_item:
+            offset = 0 if info.is_staticmethod else 1
+            bulk_index = offset + 1  # (self, client, items, ...)
+            if len(info.params) > bulk_index:
+                return frozenset({info.params[bulk_index]})
+        return frozenset()
+
+    def summary_for(self, info: FuncInfo, ctx: frozenset) -> Summary:
+        key = (info.qualname, ctx)
+        if key not in self._demanded:
+            self._demanded.add(key)
+        if key in self._widened:
+            return self.summaries[key]
+        return self.summaries.get(key, _BOTTOM)
+
+    def _evaluate(self, key: tuple) -> Summary:
+        qualname, ctx = key
+        info = self.index.functions.get(qualname)
+        if info is None:
+            return _BOTTOM
+        if info.cost_override is not None:
+            cost = info.cost_override
+            return Summary(fast=(cost, 0), worst=Cost(const=cost))
+        if key in self._widened:
+            return self.summaries[key]
+        evaluator = _FnEval(self, info, ctx)
+        return evaluator.run()
+
+    # -- verdicts --------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        out = []
+        for name in sorted(self.structures):
+            cls = self.index.class_info(name)
+            if cls is None:
+                continue
+            for method_name in sorted(cls.methods):
+                record = self._record_for(cls, cls.methods[method_name])
+                if record is not None:
+                    out.append(record)
+        return out
+
+    def _record_for(self, cls: ClassInfo, fn: FuncInfo) -> Optional[dict]:
+        if fn.name.startswith("_"):
+            return None
+        if fn.is_classmethod or fn.is_staticmethod or fn.is_property:
+            # Constructors and views: provisioning cost, not per-op cost.
+            return None
+        summary = self.summary_for(fn, self._default_ctx(fn))
+        declared = fn.budget
+        if declared is None and not fn.has_budget_decorator:
+            if summary.worst.is_zero() and summary.fast == (0, 0):
+                return None  # near-memory only: nothing to certify
+            verdict, detail = "missing_budget", (
+                "public far-op without @far_budget "
+                f"(inferred {summary.render()})"
+            )
+        elif declared is None:
+            # Decorated, but with arguments fmcost cannot read statically.
+            verdict, detail = "missing_budget", (
+                "@far_budget arguments are not static constants"
+            )
+        else:
+            verdict, detail = self._verdict(declared, summary)
+        record = {
+            "structure": cls.name,
+            "op": fn.name,
+            "module": fn.module,
+            "line": fn.node.lineno,
+            "declared": (
+                None
+                if declared is None
+                else {
+                    "fast": declared.fast,
+                    "ceiling": declared.ceiling,
+                    "per_item": declared.per_item,
+                    "claim": declared.claim,
+                }
+            ),
+            "inferred": {
+                "fast": _render_min(summary.fast),
+                "fast_const": None if summary.fast is None else summary.fast[0],
+                "fast_per_item": (
+                    None if summary.fast is None else summary.fast[1]
+                ),
+                "worst": summary.worst.render(),
+                "worst_const": (
+                    None if summary.worst.unbounded else summary.worst.const
+                ),
+                "worst_per_item": (
+                    None if summary.worst.unbounded else summary.worst.per_item
+                ),
+                "worst_unbounded": summary.worst.unbounded,
+                "retry_exempt": summary.worst.retry,
+            },
+            "verdict": verdict,
+            "detail": detail,
+        }
+        return record
+
+    @staticmethod
+    def _verdict(declared: BudgetDecl, summary: Summary) -> tuple[str, str]:
+        problems = []
+        slack = None
+        if declared.fast is not None:
+            if summary.fast is None:
+                problems.append(
+                    "no non-raising path found, cannot certify fast path"
+                )
+            else:
+                # For per-item budgets the runtime bound is fast*n; the
+                # inferred c + p*n is below it for every n >= 1 iff
+                # c + p <= fast.
+                total = summary.fast[0] + summary.fast[1]
+                if not declared.per_item and summary.fast[1]:
+                    problems.append(
+                        f"inferred fast path {_render_min(summary.fast)} "
+                        "scales with an argument but the budget is not "
+                        "per_item"
+                    )
+                elif total > declared.fast:
+                    problems.append(
+                        f"inferred fast {_render_min(summary.fast)} exceeds "
+                        f"declared fast={declared.fast}"
+                    )
+                elif total < declared.fast:
+                    slack = (
+                        f"declared fast={declared.fast} but cheapest path is "
+                        f"{_render_min(summary.fast)}"
+                    )
+        if declared.ceiling is not None:
+            worst = summary.worst
+            if worst.unbounded:
+                problems.append(
+                    f"worst-case is unbounded (T) but ceiling="
+                    f"{declared.ceiling} is declared"
+                )
+            else:
+                total = worst.const + worst.per_item
+                if not declared.per_item and worst.per_item:
+                    problems.append(
+                        f"worst case {worst.render()} scales with an "
+                        "argument but the budget is not per_item"
+                    )
+                elif total > declared.ceiling:
+                    problems.append(
+                        f"inferred worst {worst.render()} exceeds declared "
+                        f"ceiling={declared.ceiling}"
+                        + (
+                            " (bound is per retry attempt)"
+                            if worst.retry
+                            else ""
+                        )
+                    )
+        if problems:
+            fatal = any("exceeds declared fast" in p or "fast path" in p for p in problems)
+            ceiling_fatal = any("ceiling" in p or "unbounded" in p for p in problems)
+            verdict = "over_ceiling" if ceiling_fatal and not fatal else "regression"
+            return verdict, "; ".join(problems)
+        if slack is not None:
+            return "slack", slack
+        return "ok", "certified"
+
+
+# ---------------------------------------------------------------------------
+# Per-function abstract interpretation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _MinOut:
+    """Minimum-cost outcomes of a statement block."""
+
+    fall: MinCost = (0, 0)
+    ret: MinCost = None
+    brk: MinCost = None
+    cont: MinCost = None
+
+
+_LITERAL_NODES = (
+    ast.Dict,
+    ast.List,
+    ast.Set,
+    ast.Tuple,
+    ast.Constant,
+    ast.DictComp,
+    ast.SetComp,
+    ast.JoinedStr,
+    ast.Compare,
+    ast.BoolOp,
+    ast.UnaryOp,
+    ast.Lambda,
+)
+
+#: Resolution results: a set of index class names, _CLIENT for the
+#: metered client, _OPAQUE for "known, but nothing we price" (stdlib
+#: containers, fabric internals), None for "unknown".
+_CLIENT = "<client>"
+_OPAQUE = frozenset()
+
+
+class _FnEval:
+    def __init__(self, model: CostModel, info: FuncInfo, ctx: frozenset):
+        self.model = model
+        self.info = info
+        self.ctx = ctx
+        self.directives = model.index.directives.get(info.path)
+        self.types: dict[str, object] = {}
+        self.bulk: set[str] = set(ctx)
+        # ``mandatory`` is the fast-path subset of ``bulk``: names whose
+        # length provably equals n (the bulk argument itself plus exact
+        # length-preserving derivations). A loop over a mandatory name is
+        # charged one full pass on the fast path; a loop over a derived
+        # accumulator is not -- accumulators partition or filter the
+        # items, so forcing a pass over each would overcount n.
+        self.mandatory: set[str] = set(ctx)
+        self._infer_env()
+
+    # -- environment -----------------------------------------------------
+
+    def _resolve_ann(self, ann: Optional[str]):
+        if not ann:
+            return None
+        tokens = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", ann))
+        if "Client" in tokens:
+            return _CLIENT
+        hits = frozenset(t for t in tokens if t in self.model.index.classes)
+        if hits:
+            return hits
+        if tokens - {"Optional", "None"}:
+            return _OPAQUE
+        return None
+
+    def _infer_env(self) -> None:
+        info = self.info
+        if info.cls is not None and not info.is_staticmethod:
+            first = info.params[0] if info.params else None
+            if first in ("self", "cls"):
+                self.types[first] = frozenset({info.cls})
+        for param, ann in info.param_anns.items():
+            resolved = self._resolve_ann(ann)
+            if resolved is not None:
+                self.types[param] = resolved
+        # Flow-insensitive local typing; two passes resolve chains.
+        for _ in range(2):
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        inferred = self._type_of_expr(node.value)
+                        if inferred is not None:
+                            self.types.setdefault(target.id, inferred)
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    resolved = self._resolve_ann(ast.unparse(node.annotation))
+                    if resolved is not None:
+                        self.types.setdefault(node.target.id, resolved)
+        self._infer_bulk()
+
+    def _infer_bulk(self) -> None:
+        for _ in range(3):
+            grew = False
+            for node in ast.walk(self.info.node):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id not in self.bulk
+                        and self._is_bulk(node.value)
+                    ):
+                        self.bulk.add(target.id)
+                        grew = True
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if not self._is_bulk(node.iter):
+                        continue
+                    # Accumulators filled inside a bulk loop scale with n.
+                    for sub in ast.walk(node):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr in ("append", "extend", "add")
+                            and isinstance(sub.func.value, ast.Name)
+                            and sub.func.value.id not in self.bulk
+                        ):
+                            self.bulk.add(sub.func.value.id)
+                            grew = True
+            if not grew:
+                break
+        self._infer_mandatory()
+
+    _EXACT_LEN_CALLS = frozenset(
+        {"list", "sorted", "tuple", "reversed", "set", "enumerate", "zip",
+         "len", "range"}
+    )
+    _EXACT_LEN_METHODS = frozenset({"items", "keys", "values", "copy"})
+
+    def _infer_mandatory(self) -> None:
+        for _ in range(3):
+            grew = False
+            for node in ast.walk(self.info.node):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id not in self.mandatory
+                        and self._is_mandatory(node.value)
+                    ):
+                        self.mandatory.add(target.id)
+                        grew = True
+            if not grew:
+                break
+
+    def _is_mandatory(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.mandatory
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in self._EXACT_LEN_CALLS
+            ):
+                return any(self._is_mandatory(arg) for arg in node.args)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._EXACT_LEN_METHODS
+                and not node.args
+            ):
+                return self._is_mandatory(func.value)
+            return False
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return (
+                len(node.generators) == 1
+                and not node.generators[0].ifs
+                and self._is_mandatory(node.generators[0].iter)
+            )
+        if isinstance(node, ast.Subscript):
+            return isinstance(node.slice, ast.Slice) and self._is_mandatory(
+                node.value
+            )
+        return False
+
+    def _type_of_expr(self, node: ast.AST):
+        if isinstance(node, ast.Name):
+            hit = self.types.get(node.id)
+            if hit is not None:
+                return hit
+            if node.id in self.model.index.classes:
+                # ``Cls.method(...)`` static-call receivers.
+                return frozenset({node.id})
+            return None
+        if isinstance(node, _LITERAL_NODES) or isinstance(
+            node, (ast.ListComp, ast.GeneratorExp)
+        ):
+            return _OPAQUE
+        if isinstance(node, ast.Attribute):
+            base = self._type_of_expr(node.value)
+            if base is _CLIENT or base is None or base is _OPAQUE:
+                return None
+            for cls_name in base:
+                cls = self.model.index.class_info(cls_name)
+                if cls is not None and node.attr in cls.attr_anns:
+                    return self._resolve_ann(cls.attr_anns[node.attr])
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in self.model.index.classes:
+                    return frozenset({func.id})
+                fn = self.model.index.functions.get(
+                    f"{self.info.module}:{func.id}"
+                )
+                if fn is not None:
+                    return self._resolve_ann(fn.return_ann)
+            if isinstance(func, ast.Attribute):
+                # Cls.create(...) classmethod constructors.
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in self.model.index.classes
+                    and func.attr in _CONSTRUCTOR_NAMES
+                ):
+                    return frozenset({func.value.id})
+                callee = self._resolve_callee(func)
+                if isinstance(callee, FuncInfo):
+                    return self._resolve_ann(callee.return_ann)
+        return None
+
+    def _is_bulk(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.bulk
+        if isinstance(node, ast.Call):
+            parts = list(node.args) + [kw.value for kw in node.keywords]
+            if isinstance(node.func, ast.Attribute):
+                parts.append(node.func.value)
+            return any(self._is_bulk(part) for part in parts)
+        if isinstance(node, ast.Attribute):
+            return self._is_bulk(node.value)
+        if isinstance(node, ast.BinOp):
+            return self._is_bulk(node.left) or self._is_bulk(node.right)
+        if isinstance(node, ast.Starred):
+            return self._is_bulk(node.value)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            return any(self._is_bulk(gen.iter) for gen in node.generators)
+        if isinstance(node, ast.Subscript):
+            return isinstance(node.slice, ast.Slice) and self._is_bulk(
+                node.value
+            )
+        if isinstance(node, ast.IfExp):
+            return self._is_bulk(node.body) or self._is_bulk(node.orelse)
+        return False
+
+    # -- entry point -----------------------------------------------------
+
+    def run(self) -> Summary:
+        body = self.info.node.body
+        worst = self._worst_block(body)
+        out = self._min_block(body)
+        fast = _mbest(out.ret, out.fall)
+        return Summary(fast=fast, worst=worst)
+
+    # -- expression costs ------------------------------------------------
+
+    def _expr_cost(self, node: Optional[ast.AST]) -> tuple:
+        """Returns ``(min_pair, worst_cost)`` for one expression."""
+        if node is None:
+            return (0, 0), ZERO
+        if isinstance(node, ast.Call):
+            return self._call_cost(node)
+        if isinstance(node, ast.IfExp):
+            tf, tw = self._expr_cost(node.test)
+            bf, bw = self._expr_cost(node.body)
+            of, ow = self._expr_cost(node.orelse)
+            return _madd(tf, _mbest(bf, of)), tw.add(bw.join(ow))
+        if isinstance(
+            node, (ast.ListComp, ast.GeneratorExp, ast.SetComp, ast.DictComp)
+        ):
+            return self._comp_cost(node)
+        if isinstance(node, ast.Lambda):
+            return (0, 0), ZERO
+        fast, worst = (0, 0), ZERO
+        for child in ast.iter_child_nodes(node):
+            cf, cw = self._expr_cost(child)
+            fast = _madd(fast, cf)
+            worst = worst.add(cw)
+        return fast, worst
+
+    def _comp_cost(self, node) -> tuple:
+        if isinstance(node, ast.DictComp):
+            elt_fast, elt_worst = self._expr_cost(node.key)
+            vf, vw = self._expr_cost(node.value)
+            elt_fast, elt_worst = _madd(elt_fast, vf), elt_worst.add(vw)
+        else:
+            elt_fast, elt_worst = self._expr_cost(node.elt)
+        fast, worst = (0, 0), ZERO
+        per_iteration_worst = elt_worst
+        bulk = mandatory = False
+        for gen in node.generators:
+            gf, gw = self._expr_cost(gen.iter)
+            fast, worst = _madd(fast, gf), worst.add(gw)
+            bulk = bulk or self._is_bulk(gen.iter)
+            mandatory = mandatory or self._is_mandatory(gen.iter)
+            for cond in gen.ifs:
+                cf, cw = self._expr_cost(cond)
+                per_iteration_worst = per_iteration_worst.add(cw)
+                elt_fast = _madd(elt_fast, cf)
+        if mandatory and elt_fast is not None:
+            fast = _madd(fast, (0, elt_fast[0] + elt_fast[1]))
+        if bulk:
+            worst = worst.add(per_iteration_worst.times_n())
+        else:
+            worst = worst.add(per_iteration_worst.times_unbounded())
+        return fast, worst
+
+    # -- call resolution -------------------------------------------------
+
+    def _terminal_name(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _is_clientish(self, node: ast.AST) -> bool:
+        if self._type_of_expr(node) is _CLIENT:
+            return True
+        terminal = self._terminal_name(node)
+        return terminal is not None and "client" in terminal.lower()
+
+    def _resolve_callee(self, func: ast.Attribute):
+        """FuncInfo, list of candidate FuncInfos, _CLIENT, or None."""
+        receiver = func.value
+        if self._is_clientish(receiver):
+            return _CLIENT
+        if self._terminal_name(receiver) == "fabric":
+            return _OPAQUE
+        tset = self._type_of_expr(receiver)
+        if tset is _CLIENT:
+            return _CLIENT
+        if tset is _OPAQUE:
+            return _OPAQUE
+        if tset:
+            found = []
+            for cls_name in tset:
+                hit = self.model.index.lookup_method(cls_name, func.attr)
+                if hit is not None:
+                    found.append(hit)
+            if found:
+                return found if len(found) > 1 else found[0]
+            if all(
+                cls_name in self.model.index.classes for cls_name in tset
+            ):
+                return _OPAQUE  # resolved class, method not priced
+            return _OPAQUE
+        # Unresolved receiver: accept a *unique* global name match (the
+        # helper-object case -- one class in the repo defines the method).
+        # An ambiguous name is assumed near-only and reported instead of
+        # joined: joining would route every untyped ``.get()``/``.read()``
+        # through same-named far-structure methods and lift the whole
+        # call graph to T, making the certificate vacuous.
+        candidates = self.model.index.methods_by_name.get(func.attr)
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        if candidates:
+            self.model._diag(
+                f"{self.info.qualname}: unresolved receiver for "
+                f".{func.attr}() ({len(candidates)} same-name candidates); "
+                "assumed near-only"
+            )
+        return _OPAQUE
+
+    def _intrinsic_cost(self, call: ast.Call, name: str) -> tuple:
+        if name in FAR_SYNC_OPS or name in ("submit", "charge_far_access", "write_framed"):
+            return (1, 0), Cost(const=1)
+        if name == "read_verified":
+            fallback = next(
+                (kw.value for kw in call.keywords if kw.arg == "fallback"),
+                None,
+            )
+            if fallback is None:
+                return (1, 0), Cost(const=1)
+            if isinstance(fallback, (ast.Tuple, ast.List)):
+                return (1, 0), Cost(const=1 + len(fallback.elts))
+            return (1, 0), TOP
+        return (0, 0), ZERO
+
+    def _map_bulk_args(self, call: ast.Call, callee: FuncInfo) -> frozenset:
+        params = callee.params
+        offset = 0
+        if callee.cls is not None and not callee.is_staticmethod:
+            if isinstance(call.func, ast.Attribute):
+                offset = 1  # bound call: self/cls filled implicitly
+        bulk_params = set()
+        for position, arg in enumerate(call.args):
+            index = position + offset
+            if index < len(params) and self._is_bulk(arg):
+                bulk_params.add(params[index])
+        for kw in call.keywords:
+            if kw.arg and kw.arg in params and self._is_bulk(kw.value):
+                bulk_params.add(kw.arg)
+        return frozenset(bulk_params)
+
+    def _callee_cost(self, call: ast.Call, callee: FuncInfo) -> tuple:
+        ctx = self._map_bulk_args(call, callee)
+        summary = self.model.summary_for(callee, ctx)
+        worst = summary.worst
+        fast = summary.fast
+        # The callee's per-item terms are in *its* bulk argument's units,
+        # which a bulk call-site argument preserves (n is the same n).
+        if not ctx and (
+            (fast is not None and fast[1]) or worst.per_item
+        ):
+            # Per-item summary applied to a non-bulk argument of unknown
+            # size: unbounded above, and at least one item below.
+            worst = (
+                Cost(unbounded=True, retry=worst.retry)
+                if worst.per_item
+                else worst
+            )
+        return fast, worst
+
+    def _call_cost(self, call: ast.Call) -> tuple:
+        fast, worst = (0, 0), ZERO
+        for arg in call.args:
+            f, w = self._expr_cost(arg)
+            fast, worst = _madd(fast, f), worst.add(w)
+        for kw in call.keywords:
+            f, w = self._expr_cost(kw.value)
+            fast, worst = _madd(fast, f), worst.add(w)
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            rf, rw = self._expr_cost(func.value)
+            fast, worst = _madd(fast, rf), worst.add(rw)
+            callee = self._resolve_callee(func)
+            if callee is _CLIENT:
+                cf, cw = self._intrinsic_cost(call, func.attr)
+            elif callee is _OPAQUE or callee is None:
+                cf, cw = (0, 0), ZERO
+            elif isinstance(callee, list):
+                cf, cw = None, ZERO
+                for candidate in callee:
+                    one_f, one_w = self._callee_cost(call, candidate)
+                    cf = _mbest(cf, one_f)
+                    cw = cw.join(one_w)
+            else:
+                cf, cw = self._callee_cost(call, callee)
+            return _madd(fast, cf), worst.add(cw)
+        if isinstance(func, ast.Name):
+            if func.id in self.model.index.classes:
+                init = self.model.index.lookup_method(func.id, "__init__")
+                if init is not None:
+                    cf, cw = self._callee_cost(call, init)
+                    return _madd(fast, cf), worst.add(cw)
+                return fast, worst
+            callee = self.model.index.functions.get(
+                f"{self.info.module}:{func.id}"
+            )
+            if callee is not None:
+                cf, cw = self._callee_cost(call, callee)
+                return _madd(fast, cf), worst.add(cw)
+            return fast, worst
+        f, w = self._expr_cost(func)
+        return _madd(fast, f), worst.add(w)
+
+    # -- loop multipliers ------------------------------------------------
+
+    @staticmethod
+    def _constant_trip_count(iter_node: ast.AST) -> Optional[int]:
+        if isinstance(iter_node, (ast.List, ast.Tuple, ast.Set)):
+            return len(iter_node.elts)
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+            and iter_node.args
+        ):
+            bounds = iter_node.args
+            if all(isinstance(b, ast.Constant) and isinstance(b.value, int) for b in bounds):
+                if len(bounds) == 1:
+                    return max(0, bounds[0].value)
+                if len(bounds) == 2:
+                    return max(0, bounds[1].value - bounds[0].value)
+        return None
+
+    # -- worst-case walk -------------------------------------------------
+
+    def _worst_block(self, stmts: list) -> Cost:
+        total = ZERO
+        for stmt in stmts:
+            total = total.add(self._worst_stmt(stmt))
+        return total
+
+    def _worst_stmt(self, stmt: ast.stmt) -> Cost:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return ZERO
+        if isinstance(stmt, ast.If):
+            _, test = self._expr_cost(stmt.test)
+            return test.add(
+                self._worst_block(stmt.body).join(
+                    self._worst_block(stmt.orelse)
+                )
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            _, iter_cost = self._expr_cost(stmt.iter)
+            body = self._worst_block(stmt.body)
+            retry = self.directives is not None and self.directives.is_retry(
+                stmt
+            )
+            if retry:
+                looped = Cost(
+                    body.const, body.per_item, body.unbounded, True
+                )
+            elif self._is_bulk(stmt.iter):
+                looped = body.times_n()
+            else:
+                trip = self._constant_trip_count(stmt.iter)
+                if trip is not None:
+                    looped = body.times_const(trip)
+                else:
+                    looped = body.times_unbounded()
+            return iter_cost.add(looped).add(self._worst_block(stmt.orelse))
+        if isinstance(stmt, ast.While):
+            _, test = self._expr_cost(stmt.test)
+            body = self._worst_block(stmt.body).add(test)
+            retry = self.directives is not None and self.directives.is_retry(
+                stmt
+            )
+            if retry:
+                looped = Cost(body.const, body.per_item, body.unbounded, True)
+            else:
+                looped = body.times_unbounded()
+            return looped.add(self._worst_block(stmt.orelse))
+        if isinstance(stmt, ast.Try):
+            handlers = ZERO
+            for handler in stmt.handlers:
+                handlers = handlers.join(self._worst_block(handler.body))
+            return (
+                self._worst_block(stmt.body)
+                .add(handlers)
+                .add(self._worst_block(stmt.orelse))
+                .add(self._worst_block(stmt.finalbody))
+            )
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            total = ZERO
+            for item in stmt.items:
+                _, w = self._expr_cost(item.context_expr)
+                total = total.add(w)
+            return total.add(self._worst_block(stmt.body))
+        if isinstance(stmt, ast.Return):
+            _, w = self._expr_cost(stmt.value)
+            return w
+        if isinstance(stmt, ast.Raise):
+            # Raising paths are never recorded by the sanitizer; their
+            # cleanup cost still bounds from above via addition.
+            _, w = self._expr_cost(stmt.exc)
+            return w
+        if isinstance(stmt, (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Assert, ast.Delete)):
+            total = ZERO
+            for child in ast.iter_child_nodes(stmt):
+                _, w = self._expr_cost(child)
+                total = total.add(w)
+            return total
+        return ZERO
+
+    # -- fast-path (min) walk --------------------------------------------
+
+    def _min_block(self, stmts: list) -> _MinOut:
+        out = _MinOut()
+        for stmt in stmts:
+            if out.fall is None:
+                break
+            s = self._min_stmt(stmt)
+            out.ret = _mbest(out.ret, _madd(out.fall, s.ret))
+            out.brk = _mbest(out.brk, _madd(out.fall, s.brk))
+            out.cont = _mbest(out.cont, _madd(out.fall, s.cont))
+            out.fall = _madd(out.fall, s.fall)
+        return out
+
+    def _min_stmt(self, stmt: ast.stmt) -> _MinOut:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return _MinOut()
+        if isinstance(stmt, ast.Return):
+            f, _ = self._expr_cost(stmt.value)
+            return _MinOut(fall=None, ret=f)
+        if isinstance(stmt, ast.Raise):
+            return _MinOut(fall=None)
+        if isinstance(stmt, ast.Break):
+            return _MinOut(fall=None, brk=(0, 0))
+        if isinstance(stmt, ast.Continue):
+            return _MinOut(fall=None, cont=(0, 0))
+        if isinstance(stmt, ast.If):
+            tf, _ = self._expr_cost(stmt.test)
+            body = self._min_block(stmt.body)
+            orelse = self._min_block(stmt.orelse)
+            return _MinOut(
+                fall=_madd(tf, _mbest(body.fall, orelse.fall)),
+                ret=_madd(tf, _mbest(body.ret, orelse.ret)),
+                brk=_madd(tf, _mbest(body.brk, orelse.brk)),
+                cont=_madd(tf, _mbest(body.cont, orelse.cont)),
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._min_loop(
+                stmt, iter_node=stmt.iter, test_cost=(0, 0)
+            )
+        if isinstance(stmt, ast.While):
+            tf, _ = self._expr_cost(stmt.test)
+            always = (
+                isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+            )
+            return self._min_loop(
+                stmt, iter_node=None, test_cost=tf, must_enter=always
+            )
+        if isinstance(stmt, ast.Try):
+            # Fast paths do not raise: the try body and else run, the
+            # handlers do not, the finally always does.
+            body = self._min_block(stmt.body)
+            orelse = self._min_block(stmt.orelse)
+            final = self._min_block(stmt.finalbody)
+            merged = _MinOut(
+                fall=_madd(body.fall, orelse.fall),
+                ret=_mbest(body.ret, _madd(body.fall, orelse.ret)),
+                brk=_mbest(body.brk, _madd(body.fall, orelse.brk)),
+                cont=_mbest(body.cont, _madd(body.fall, orelse.cont)),
+            )
+            return _MinOut(
+                fall=_madd(merged.fall, final.fall),
+                ret=_madd(merged.ret, final.fall),
+                brk=_madd(merged.brk, final.fall),
+                cont=_madd(merged.cont, final.fall),
+            )
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            enter = (0, 0)
+            for item in stmt.items:
+                f, _ = self._expr_cost(item.context_expr)
+                enter = _madd(enter, f)
+            body = self._min_block(stmt.body)
+            return _MinOut(
+                fall=_madd(enter, body.fall),
+                ret=_madd(enter, body.ret),
+                brk=_madd(enter, body.brk),
+                cont=_madd(enter, body.cont),
+            )
+        if isinstance(stmt, (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Assert, ast.Delete)):
+            total = (0, 0)
+            for child in ast.iter_child_nodes(stmt):
+                f, _ = self._expr_cost(child)
+                total = _madd(total, f)
+            return _MinOut(fall=total)
+        return _MinOut()
+
+    def _min_loop(
+        self,
+        stmt,
+        iter_node: Optional[ast.AST],
+        test_cost: MinCost,
+        must_enter: bool = False,
+    ) -> _MinOut:
+        iter_cost = (0, 0)
+        mandatory = False
+        if iter_node is not None:
+            iter_cost, _ = self._expr_cost(iter_node)
+            mandatory = self._is_mandatory(iter_node)
+        body = self._min_block(stmt.body)
+        per_iter = _mbest(body.fall, body.cont)
+        orelse = self._min_block(stmt.orelse)
+        enter = _madd(iter_cost, test_cost)
+
+        if mandatory:
+            # A loop over the bulk argument (or an exact length-preserving
+            # derivation of it) is charged one full pass of n iterations
+            # at the cheapest per-iteration cost, keeping per-item
+            # regressions visible on the fast path. Derived accumulators
+            # are *not* force-charged: they partition the items, and
+            # chaining mandatory passes over each stage would overcount.
+            full = (
+                None
+                if per_iter is None
+                else (0, per_iter[0] + per_iter[1])
+            )
+            completions = _mbest(
+                _madd(full, orelse.fall), _madd(body.brk, (0, 0))
+            )
+            return _MinOut(
+                fall=_madd(enter, completions),
+                ret=_madd(enter, _mbest(body.ret, _madd(full, orelse.ret))),
+                brk=_madd(enter, orelse.brk),
+                cont=_madd(enter, orelse.cont),
+            )
+        if must_enter:
+            # while True: the body runs at least once; the loop is left
+            # only by break (skipping the else) or return.
+            return _MinOut(
+                fall=_madd(enter, body.brk),
+                ret=_madd(enter, body.ret),
+            )
+        # A skippable loop: zero iterations (then the else clause), a
+        # break out of the first iteration, or a return from the body.
+        completions = _mbest(_madd((0, 0), orelse.fall), body.brk)
+        return _MinOut(
+            fall=_madd(enter, completions),
+            ret=_madd(enter, _mbest(body.ret, orelse.ret)),
+            brk=_madd(enter, orelse.brk),
+            cont=_madd(enter, orelse.cont),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+
+def analyze_paths(
+    paths: Iterable[str], *, structures: Optional[Iterable[str]] = None
+) -> CostModel:
+    """Index ``paths``, run the fixpoint, and return the solved model."""
+    model = CostModel(structures=structures)
+    model.load_paths(paths)
+    model.solve()
+    return model
+
+
+def build_certificate(model: CostModel) -> dict:
+    records = model.records()
+    return {
+        "format": CERT_FORMAT,
+        "structures": sorted(model.structures),
+        "records": records,
+        "summary": {
+            "operations": len(records),
+            "failing": sum(
+                1 for r in records if r["verdict"] in FAILING_VERDICTS
+            ),
+            "verdicts": _verdict_tally(records),
+        },
+    }
+
+
+def _verdict_tally(records: list) -> dict:
+    tally: dict[str, int] = {}
+    for record in records:
+        tally[record["verdict"]] = tally.get(record["verdict"], 0) + 1
+    return dict(sorted(tally.items()))
+
+
+def certificate_failures(cert: dict) -> list[str]:
+    return [
+        f"{r['structure']}.{r['op']}: {r['verdict']} — {r['detail']}"
+        for r in cert.get("records", ())
+        if r["verdict"] in FAILING_VERDICTS
+    ]
+
+
+def _record_key(record: dict) -> str:
+    return f"{record['structure']}.{record['op']}"
+
+
+def _comparable(record: dict) -> dict:
+    # Line numbers move on every edit; the certificate diff is about
+    # declared budgets, inferred bounds, and verdicts.
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in ("line", "detail")
+    }
+
+
+def diff_certificates(baseline: dict, current: dict) -> list[str]:
+    """Human-readable differences, empty when cost-equivalent."""
+    old = {_record_key(r): r for r in baseline.get("records", ())}
+    new = {_record_key(r): r for r in current.get("records", ())}
+    out = []
+    for key in sorted(set(old) | set(new)):
+        if key not in old:
+            record = new[key]
+            out.append(
+                f"added: {key} ({record['verdict']}, "
+                f"fast={record['inferred']['fast']}, "
+                f"worst={record['inferred']['worst']})"
+            )
+        elif key not in new:
+            out.append(f"removed: {key}")
+        elif _comparable(old[key]) != _comparable(new[key]):
+            before, after = old[key], new[key]
+            changes = []
+            if before["declared"] != after["declared"]:
+                changes.append(
+                    f"declared {before['declared']} -> {after['declared']}"
+                )
+            if before["inferred"] != after["inferred"]:
+                changes.append(
+                    f"inferred fast {before['inferred']['fast']} -> "
+                    f"{after['inferred']['fast']}, "
+                    f"worst {before['inferred']['worst']} -> "
+                    f"{after['inferred']['worst']}"
+                )
+            if before["verdict"] != after["verdict"]:
+                changes.append(
+                    f"verdict {before['verdict']} -> {after['verdict']}"
+                )
+            out.append(f"changed: {key} ({'; '.join(changes) or 'metadata'})")
+    return out
+
+
+def load_certificate(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        cert = json.load(fh)
+    if cert.get("format") != CERT_FORMAT:
+        raise ValueError(
+            f"{path}: not a {CERT_FORMAT} certificate "
+            f"(format={cert.get('format')!r})"
+        )
+    return cert
+
+
+def write_certificate(cert: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(cert, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_certificate(cert: dict) -> str:
+    """The ``repro cost`` table: one row per certified operation."""
+    records = cert.get("records", ())
+    if not records:
+        return "(no registered far structures found)"
+    rows = []
+    for record in records:
+        declared = record["declared"]
+        if declared is None:
+            budget = "-"
+        else:
+            budget = (
+                f"fast={declared['fast']}"
+                + (f" ceil={declared['ceiling']}" if declared["ceiling"] is not None else "")
+                + (" per-item" if declared["per_item"] else "")
+            )
+        rows.append(
+            (
+                f"{record['structure']}.{record['op']}",
+                budget,
+                record["inferred"]["fast"],
+                record["inferred"]["worst"],
+                record["verdict"],
+                declared["claim"] if declared and declared.get("claim") else "-",
+            )
+        )
+    headers = ("operation", "declared", "fast", "worst", "verdict", "claim")
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    summary = cert.get("summary", {})
+    lines.append(
+        f"{summary.get('operations', len(records))} operation(s), "
+        f"{summary.get('failing', 0)} failing — "
+        + ", ".join(
+            f"{count} {verdict}"
+            for verdict, count in summary.get("verdicts", {}).items()
+        )
+    )
+    return "\n".join(lines)

@@ -28,6 +28,12 @@ FM007     physical-placement-leak ``fabric.node_of()``/``fabric.locate()`` or a
                                   hand-built ``Location(...)`` outside the
                                   translation/repair/migration layers — physical
                                   coordinates go stale on the next migration
+FM008     missing-far-budget      a public method on a registered far structure
+                                  that issues far accesses (directly or through
+                                  a ``self.``-helper) without a ``@far_budget``
+                                  declaration
+FM009     unused-suppression      a ``# fmlint: disable=...`` comment whose code
+                                  no longer triggers on the covered line(s)
 ========  ======================  ==============================================
 
 Suppressions
@@ -136,6 +142,28 @@ _NP_RANDOM_ALLOWED = frozenset(
 _SUPPRESS_RE = re.compile(r"#\s*fmlint:\s*disable=([A-Z0-9, ]+)")
 _SUPPRESS_FILE_RE = re.compile(r"#\s*fmlint:\s*disable-file=([A-Z0-9, ]+)")
 
+#: The far data structures whose public operations carry declared
+#: far-access budgets (fmlint FM008 enforces the declarations; fmcost
+#: certifies them statically).
+REGISTERED_FAR_STRUCTURES = frozenset(
+    {
+        "HTTree",
+        "FarQueue",
+        "RefreshableVector",
+        "FarKVStore",
+        "FarMutex",
+        "FarCounter",
+        "ReplicatedRegion",
+    }
+)
+
+#: Every client-receiver method that costs far accesses: the sync shims
+#: plus submit() (one posted op), the explicit accounting hook, and the
+#: framed/verified I/O helpers.
+_FAR_COST_OPS = FAR_SYNC_OPS | frozenset(
+    {"submit", "charge_far_access", "write_framed", "read_verified"}
+)
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -206,6 +234,20 @@ RULES: dict[str, Rule] = {
             "resolving or storing a physical location (fabric.node_of / "
             "fabric.locate / Location(...)) outside the translation layer; "
             "the answer goes stale on the next migration",
+        ),
+        Rule(
+            "FM008",
+            "missing-far-budget",
+            "public method on a registered far structure issues far "
+            "accesses without a @far_budget declaration; state its "
+            "fast/ceiling cost (or suppress with an 'observe only' note)",
+        ),
+        Rule(
+            "FM009",
+            "unused-suppression",
+            "a # fmlint: disable comment whose code does not trigger on "
+            "the covered line(s); remove it so real exceptions stay "
+            "visible",
         ),
     )
 }
@@ -607,17 +649,143 @@ class _Checker(ast.NodeVisitor):
             )
 
 
-def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
-    """Line-keyed and file-wide suppressed codes from magic comments."""
-    by_line: dict[int, set[str]] = {}
-    file_wide: set[str] = set()
-    lines = source.splitlines()
-    for lineno, text in enumerate(lines, start=1):
+# -- FM008: missing far budgets on registered structures -------------------
+
+
+def _decorator_name(dec: ast.AST) -> Optional[str]:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    return _attr_name(target)
+
+
+def _issues_far_ops(fn: ast.AST) -> bool:
+    """True when ``fn`` directly issues a metered client far op."""
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FAR_COST_OPS
+            and _Checker._is_client_receiver(node.func)
+        ):
+            return True
+    return False
+
+
+def _self_helper_calls(fn: ast.AST) -> set[str]:
+    out = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            out.add(node.func.attr)
+    return out
+
+
+def _missing_budget_findings(tree: ast.AST, path: str) -> list[Finding]:
+    """FM008: budget-less public far-ops on registered structures.
+
+    "Issues far ops" is checked one level deep: the method itself, or any
+    ``self.``-helper it calls (where the real access usually lives).
+    """
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            not isinstance(node, ast.ClassDef)
+            or node.name not in REGISTERED_FAR_STRUCTURES
+        ):
+            continue
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        direct = {name: _issues_far_ops(fn) for name, fn in methods.items()}
+        for name, fn in methods.items():
+            if name.startswith("_"):
+                continue
+            decorators = {_decorator_name(d) for d in fn.decorator_list}
+            if "far_budget" in decorators:
+                continue
+            if decorators & {
+                "classmethod",
+                "staticmethod",
+                "property",
+                "cached_property",
+            }:
+                # Constructors and attribute views: provisioning cost,
+                # not a per-operation budget.
+                continue
+            far = direct[name] or any(
+                direct.get(helper, False)
+                for helper in _self_helper_calls(fn)
+            )
+            if far:
+                findings.append(
+                    Finding(
+                        path,
+                        fn.lineno,
+                        fn.col_offset + 1,
+                        "FM008",
+                        f"public {node.name}.{name}() issues far accesses "
+                        "without a @far_budget declaration; state its "
+                        "fast/ceiling cost so the sanitizer and fmcost can "
+                        "hold it (or suppress with an 'observe only' note)",
+                    )
+                )
+    return findings
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+@dataclass
+class _Suppression:
+    """One ``# fmlint: disable[-file]=`` comment and its coverage."""
+
+    line: int
+    codes: set[str]
+    covers: set[int]  # line numbers it silences; empty = file-wide
+    file_wide: bool
+    used: set[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.used = set()
+
+
+def _comment_lines(source: str) -> "Optional[set[int]]":
+    """Line numbers holding a real ``#`` comment token, or None when the
+    source does not tokenize. Keeps suppression examples inside strings
+    and docstrings (like this module's own) from registering."""
+    import io
+    import tokenize
+
+    lines: set[int] = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return lines
+
+
+def _suppressions(source: str) -> list[_Suppression]:
+    """Every suppression comment, with the line(s) it covers."""
+    out: list[_Suppression] = []
+    comments = _comment_lines(source)
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if comments is not None and lineno not in comments:
+            continue
         match = _SUPPRESS_FILE_RE.search(text)
         if match:
-            file_wide.update(
-                code.strip() for code in match.group(1).split(",") if code.strip()
-            )
+            codes = {
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            out.append(_Suppression(lineno, codes, set(), True))
             continue
         match = _SUPPRESS_RE.search(text)
         if not match:
@@ -625,11 +793,12 @@ def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
         codes = {
             code.strip() for code in match.group(1).split(",") if code.strip()
         }
-        by_line.setdefault(lineno, set()).update(codes)
+        covers = {lineno}
         # A standalone suppression comment covers the next line too.
         if text.lstrip().startswith("#"):
-            by_line.setdefault(lineno + 1, set()).update(codes)
-    return by_line, file_wide
+            covers.add(lineno + 1)
+        out.append(_Suppression(lineno, codes, covers, False))
+    return out
 
 
 def lint_source(
@@ -639,16 +808,53 @@ def lint_source(
     tree = ast.parse(source, filename=path)
     checker = _Checker(path)
     checker.check(tree)
-    by_line, file_wide = _suppressions(source)
+    raw = checker.findings + _missing_budget_findings(tree, path)
+    suppressions = _suppressions(source)
     out = []
-    for finding in checker.findings:
+    for finding in raw:
+        silenced = False
+        for suppression in suppressions:
+            if finding.code not in suppression.codes:
+                continue
+            if suppression.file_wide or finding.line in suppression.covers:
+                suppression.used.add(finding.code)
+                silenced = True
+        if silenced:
+            continue
         if codes is not None and finding.code not in codes:
             continue
-        if finding.code in file_wide:
-            continue
-        if finding.code in by_line.get(finding.line, ()):
-            continue
         out.append(finding)
+    # FM009: suppression comments none of whose codes fired. A code is
+    # "unused" only when the checker looked for it (the ``codes`` filter
+    # restricts the checked set), and disable=FM009 itself is exempt —
+    # it exists to silence this very rule.
+    fm009: list[Finding] = []
+    if codes is None or "FM009" in codes:
+        for suppression in suppressions:
+            for code in sorted(suppression.codes - suppression.used):
+                if code == "FM009" or (codes is not None and code not in codes):
+                    continue
+                scope = "file-wide " if suppression.file_wide else ""
+                fm009.append(
+                    Finding(
+                        path,
+                        suppression.line,
+                        1,
+                        "FM009",
+                        f"unused {scope}suppression: {code} does not "
+                        "trigger here; remove it so real exceptions stay "
+                        "visible",
+                    )
+                )
+    for finding in fm009:
+        silenced = False
+        for suppression in suppressions:
+            if "FM009" not in suppression.codes:
+                continue
+            if suppression.file_wide or finding.line in suppression.covers:
+                silenced = True
+        if not silenced:
+            out.append(finding)
     out.sort(key=lambda f: (f.line, f.col, f.code))
     return out
 

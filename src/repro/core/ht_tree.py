@@ -337,8 +337,11 @@ class HTTree:
         cache.valid = False
         self._load_cache(client, cache)
 
+    @far_budget(0, ceiling=2, claim="C4")
     def cache_bytes(self, client: Client) -> int:
-        """This client's tree-cache footprint in bytes (claim C4)."""
+        """This client's tree-cache footprint in bytes (claim C4).
+        Free with a warm cache; a cold cache loads the root (read +
+        version check)."""
         return self._cache(client).size_bytes()
 
     # ------------------------------------------------------------------

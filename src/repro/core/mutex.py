@@ -80,17 +80,20 @@ class FarMutex:
             self.stats.cas_failures += 1
         return ok
 
-    @far_budget(1, claim="C2")
+    @far_budget(1, ceiling=2, claim="C2")
     def acquire_or_wait(self, client: Client) -> Optional[Subscription]:
         """Try once; on failure arm ``notifye(lock, 0)`` and return the
         subscription (the caller retries via :meth:`retry_on_free` when its
-        notification arrives). Returns None when acquired immediately."""
+        notification arrives). Returns None when acquired immediately.
+
+        Ceiling 2: the contended path pays the CAS plus the subscription
+        descriptor write (the subscriber here *is* the acting client)."""
         if self.try_acquire(client):
             return None
         self.stats.notify_waits += 1
         return self.manager.notifye(client, self.address, UNLOCKED)
 
-    @far_budget(1, claim="C2")
+    @far_budget(1, ceiling=1, claim="C2")
     def retry_on_free(self, client: Client, sub: Subscription) -> bool:
         """Called after a free notification: try the CAS again.
 

@@ -556,7 +556,7 @@ class FarQueue:
     # Background maintenance
     # ------------------------------------------------------------------
 
-    @far_budget(None, claim="C5")
+    @far_budget(None, ceiling=1, claim="C5")
     def flush_clears(self, client: Client) -> int:
         """Reset consumed slots to EMPTY: one ``wscatter`` for the whole
         batch (the amortised background cost of empty detection)."""

@@ -239,10 +239,11 @@ class RefreshableVector:
             self._readers[client.client_id] = state
         return state
 
-    @far_budget(0, claim="C2")
+    @far_budget(0, ceiling=2, claim="C2")
     def get(self, client: Client, index: int) -> int:
         """Read from the client cache (near access; possibly stale — call
-        :meth:`refresh` first for bounded staleness)."""
+        :meth:`refresh` first for bounded staleness). Ceiling 2: a
+        client's first touch seeds its reader state."""
         self._check_index(index)
         state = self._reader(client)
         client.touch_local()
@@ -254,9 +255,10 @@ class RefreshableVector:
         self.refresh(client)
         return self.get(client, index)
 
-    @far_budget(0)
+    @far_budget(0, ceiling=2)
     def snapshot(self, client: Client) -> np.ndarray:
-        """A copy of the client's cached view (near accesses)."""
+        """A copy of the client's cached view (near accesses; a first
+        touch seeds the reader state, hence the ceiling)."""
         state = self._reader(client)
         client.touch_local(self.length)
         return state.data.copy()
@@ -394,10 +396,14 @@ class RefreshableVector:
         state.quiet_streak = 0
         state.mode_switches += 1
 
+    @far_budget(0, ceiling=2)
     def reader_mode(self, client: Client) -> str:
-        """Current dynamic-policy mode for this client."""
+        """Current dynamic-policy mode for this client. Free once the
+        per-client reader state exists; first touch seeds it (<= 2 far
+        accesses for the initial version snapshot)."""
         return self._reader(client).mode
 
+    @far_budget(0, ceiling=2)
     def reader_mode_switches(self, client: Client) -> int:
         """How many times the dynamic policy has shifted for this client."""
         return self._reader(client).mode_switches

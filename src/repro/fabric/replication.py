@@ -49,6 +49,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from ..analysis.budget import far_budget
 from ..fabric.client import Client
 from ..fabric.errors import (
     AddressError,
@@ -197,6 +198,7 @@ class ReplicatedRegion:
                 )
             raise StaleEpochError(self.region_id, self.epoch, current)
 
+    @far_budget(1, ceiling=1)
     def rejoin(self, client: Client) -> int:
         """Refresh this view after a fence rejection: re-read the epoch
         word and pull the current replica map from the coordinator.
@@ -233,6 +235,7 @@ class ReplicatedRegion:
     # I/O
     # ------------------------------------------------------------------
 
+    @far_budget(1, ceiling=2)
     def write(self, client: Client, offset: int, data: bytes) -> None:
         """Write-through to every replica: one ``wscatter`` (plus the
         epoch-fence read when the region is repair-registered)."""
@@ -244,6 +247,7 @@ class ReplicatedRegion:
         )
         self.stats.writes += 1
 
+    @far_budget(1)
     def read(self, client: Client, offset: int, length: int) -> bytes:
         """Read from the first live replica.
 
@@ -268,10 +272,12 @@ class ReplicatedRegion:
         assert last_error is not None
         raise last_error  # every replica is down or unreachable
 
+    @far_budget(1, ceiling=2)
     def write_word(self, client: Client, offset: int, value: int) -> None:
         """Replicated word write (one far access)."""
         self.write(client, offset, encode_u64(value))
 
+    @far_budget(1)
     def read_word(self, client: Client, offset: int) -> int:
         """Replicated word read with failover."""
         return decode_u64(self.read(client, offset, WORD))
@@ -280,6 +286,7 @@ class ReplicatedRegion:
     # Verified block I/O (framed regions only)
     # ------------------------------------------------------------------
 
+    @far_budget(1, ceiling=2)
     def write_block(self, client: Client, index: int, payload: bytes) -> None:
         """Frame ``payload`` (crc + bumped version) and write it through
         to every replica: one ``wscatter``, plus the epoch fence when
@@ -304,6 +311,7 @@ class ReplicatedRegion:
         self.stats.writes += 1
         self.stats.framed_writes += 1
 
+    @far_budget(1)
     def read_block(self, client: Client, index: int) -> bytes:
         """Checksum-verified block read with two-level failover.
 
@@ -358,6 +366,7 @@ class ReplicatedRegion:
             if fabric.node_available(fabric.node_of(replica))
         )
 
+    @far_budget(2, ceiling=2)
     def resync(self, client: Client, repaired_index: int) -> None:
         """Copy a live replica over a just-repaired one (one read + one
         write), restoring full redundancy after a node outage."""

@@ -1,0 +1,465 @@
+"""fmcost tests: the cost lattice, the min/worst walks, interprocedural
+summaries, the repo-wide certificate (paper claims C2/C4/C5 certified
+statically), baseline diffing, and the two must-fail cases — the planted
+over-budget fixture and an artificially degraded hot path."""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fmcost import (
+    TOP,
+    ZERO,
+    Cost,
+    analyze_paths,
+    build_certificate,
+    certificate_failures,
+    diff_certificates,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src" / "repro"
+FIXTURE = Path(__file__).resolve().parent / "overbudget_fixture.py"
+
+
+@pytest.fixture(scope="module")
+def repo_cert():
+    return build_certificate(analyze_paths([str(SRC)]))
+
+
+def _record(cert, structure, op):
+    for record in cert["records"]:
+        if record["structure"] == structure and record["op"] == op:
+            return record
+    raise AssertionError(f"no record for {structure}.{op}")
+
+
+def _analyze(tmp_path, source, structures):
+    mod = tmp_path / "toy.py"
+    mod.write_text(textwrap.dedent(source))
+    model = analyze_paths([str(mod)], structures=structures)
+    return {record["op"]: record for record in model.records()}
+
+
+# ---------------------------------------------------------------------------
+# The lattice
+# ---------------------------------------------------------------------------
+
+
+class TestCostLattice:
+    def test_add_is_componentwise(self):
+        a = Cost(const=1, per_item=2)
+        b = Cost(const=3, per_item=1)
+        assert a.add(b) == Cost(const=4, per_item=3)
+
+    def test_join_takes_the_upper_bound(self):
+        a = Cost(const=1, per_item=2)
+        b = Cost(const=3)
+        assert a.join(b) == Cost(const=3, per_item=2)
+
+    def test_top_absorbs(self):
+        assert TOP.add(Cost(const=5)).unbounded
+        assert Cost(const=5).join(TOP).unbounded
+        assert TOP.times_n().unbounded
+
+    def test_times_n_moves_constants_to_per_item(self):
+        assert Cost(const=2).times_n() == Cost(per_item=2)
+        # n iterations of per-item work is n^2 — outside the lattice.
+        assert Cost(const=2, per_item=1).times_n().unbounded
+
+    def test_times_const_scales(self):
+        assert Cost(const=2).times_const(3) == Cost(const=6)
+
+    def test_times_unbounded_is_top_only_with_cost(self):
+        assert ZERO.times_unbounded() == ZERO
+        assert Cost(const=1).times_unbounded().unbounded
+
+    def test_retry_flag_survives_add_and_join(self):
+        window = Cost(const=1, retry=True)
+        assert window.add(Cost(const=1)).retry
+        assert Cost(const=0).join(window).retry
+
+    def test_render(self):
+        assert ZERO.render() == "0"
+        assert Cost(const=2).render() == "2"
+        assert Cost(per_item=1).render() == "1*n"
+        assert Cost(const=1, per_item=2).render() == "1 + 2*n"
+        assert TOP.render() == "T"
+        assert "retry" in Cost(const=1, retry=True).render()
+
+
+# ---------------------------------------------------------------------------
+# Path-shape inference on toy structures
+# ---------------------------------------------------------------------------
+
+
+TOY = "Toy"
+
+
+class TestInference:
+    def test_straight_line_counts_client_ops(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(2, ceiling=2)
+                def pair(self, client: Client) -> int:
+                    a = client.read_u64(self.addr)
+                    b = client.read_u64(self.addr + 8)
+                    return a + b
+            """,
+            [TOY],
+        )
+        assert records["pair"]["verdict"] == "ok"
+        assert records["pair"]["inferred"]["fast"] == "2"
+        assert records["pair"]["inferred"]["worst"] == "2"
+
+    def test_branches_min_versus_join(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1, ceiling=3)
+                def lookup(self, client: Client, key: int) -> int:
+                    if key in self.cache:
+                        return client.read_u64(self.base + key)
+                    else:
+                        client.read_u64(self.base)
+                        client.read_u64(self.base + 8)
+                        return client.read_u64(self.base + key)
+            """,
+            [TOY],
+        )
+        assert records["lookup"]["verdict"] == "ok"
+        assert records["lookup"]["inferred"]["fast"] == "1"
+        assert records["lookup"]["inferred"]["worst"] == "3"
+
+    def test_bulk_loop_gives_per_item(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1, per_item=True)
+                def write_all(self, client: Client, values: list) -> None:
+                    for index, value in enumerate(values):
+                        client.write_u64(self.base + index, value)
+            """,
+            [TOY],
+        )
+        assert records["write_all"]["verdict"] == "ok"
+        assert records["write_all"]["inferred"]["fast"] == "1*n"
+        assert records["write_all"]["inferred"]["worst"] == "1*n"
+
+    def test_accumulator_loops_are_not_double_charged(self, tmp_path):
+        # A second pass over a *derived* accumulator must not inflate
+        # the mandatory fast-path cost beyond one pass over n.
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1, per_item=True)
+                def stage(self, client: Client, values: list) -> None:
+                    futures = []
+                    for value in values:
+                        futures.append(client.submit("write_u64", value))
+                    for future in futures:
+                        future.result()
+            """,
+            [TOY],
+        )
+        assert records["stage"]["inferred"]["fast"] == "1*n"
+        assert records["stage"]["verdict"] == "ok"
+
+    def test_unbounded_far_loop_is_top(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1)
+                def spin(self, client: Client) -> None:
+                    while client.read_u64(self.flag) == 0:
+                        pass
+            """,
+            [TOY],
+        )
+        assert records["spin"]["inferred"]["worst"] == "T"
+        # No ceiling declared, so T is allowed; the fast path is still 1
+        # (while-condition evaluated once on immediate success).
+        assert records["spin"]["verdict"] == "ok"
+
+    def test_retry_directive_prices_one_attempt(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1, ceiling=1)
+                def bump(self, client: Client) -> None:
+                    while True:  # fmcost: retry
+                        seen = client.cas(self.addr, 0, 1)
+                        if seen == 0:
+                            return
+            """,
+            [TOY],
+        )
+        assert records["bump"]["verdict"] == "ok"
+        assert records["bump"]["inferred"]["retry_exempt"] is True
+        assert "retry" in records["bump"]["inferred"]["worst"]
+
+    def test_cost_directive_overrides_the_body(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(3, ceiling=3)
+                def opaque(self, client: Client) -> None:  # fmcost: cost=3
+                    getattr(client, self.op_name)(self.addr)
+            """,
+            [TOY],
+        )
+        assert records["opaque"]["verdict"] == "ok"
+        assert records["opaque"]["inferred"]["fast"] == "3"
+
+    def test_helper_summaries_propagate(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                def _head(self, client: Client) -> int:
+                    return client.read_u64(self.head_addr)
+
+                @far_budget(2, ceiling=2)
+                def peek(self, client: Client) -> int:
+                    head = self._head(client)
+                    return client.read_u64(head)
+            """,
+            [TOY],
+        )
+        assert records["peek"]["verdict"] == "ok"
+        assert records["peek"]["inferred"]["fast"] == "2"
+
+    def test_recursion_widens_to_top(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1)
+                def chase(self, client: Client, addr: int) -> int:
+                    nxt = client.read_u64(addr)
+                    if nxt == 0:
+                        return addr
+                    return self.chase(client, nxt)
+            """,
+            [TOY],
+        )
+        assert records["chase"]["inferred"]["worst"] == "T"
+
+    def test_raising_paths_are_excluded_from_fast(self, tmp_path):
+        # The sanitizer never records a raising call, so validation-error
+        # branches do not pin the fast path.
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1, ceiling=1)
+                def checked(self, client: Client, value: int) -> None:
+                    if value < 0:
+                        raise ValueError(value)
+                    client.write_u64(self.addr, value)
+            """,
+            [TOY],
+        )
+        assert records["checked"]["verdict"] == "ok"
+        assert records["checked"]["inferred"]["fast"] == "1"
+
+    def test_missing_budget_is_flagged(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                def touch(self, client: Client) -> int:
+                    return client.read_u64(self.addr)
+            """,
+            [TOY],
+        )
+        assert records["touch"]["verdict"] == "missing_budget"
+
+    def test_private_and_near_methods_get_no_record(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                def _probe(self, client: Client) -> int:
+                    return client.read_u64(self.addr)
+
+                def label(self) -> str:
+                    return self.name
+            """,
+            [TOY],
+        )
+        assert records == {}
+
+    def test_regression_and_slack_verdicts(self, tmp_path):
+        records = _analyze(
+            tmp_path,
+            """
+            class Toy:
+                @far_budget(1, ceiling=2)
+                def cheap_lie(self, client: Client) -> int:
+                    client.read_u64(self.a)
+                    return client.read_u64(self.b)
+
+                @far_budget(2, ceiling=2)
+                def generous(self, client: Client) -> int:
+                    return client.read_u64(self.a)
+            """,
+            [TOY],
+        )
+        assert records["cheap_lie"]["verdict"] == "regression"
+        assert records["generous"]["verdict"] == "slack"
+
+
+# ---------------------------------------------------------------------------
+# The repo-wide certificate: paper claims hold statically
+# ---------------------------------------------------------------------------
+
+
+class TestRepoCertificate:
+    def test_no_failing_operations(self, repo_cert):
+        assert certificate_failures(repo_cert) == []
+
+    def test_c4_httree_prices(self, repo_cert):
+        get = _record(repo_cert, "HTTree", "get")
+        put = _record(repo_cert, "HTTree", "put")
+        assert get["declared"]["fast"] == 1
+        assert get["inferred"]["fast"] == "1"
+        assert get["verdict"] == "ok"
+        assert put["declared"]["fast"] == 2
+        assert put["inferred"]["fast"] == "2"
+        assert put["verdict"] == "ok"
+
+    def test_c5_queue_fast_path(self, repo_cert):
+        for op in ("enqueue", "dequeue", "try_dequeue"):
+            record = _record(repo_cert, "FarQueue", op)
+            assert record["declared"]["fast"] == 1
+            assert record["verdict"] in ("ok", "slack")
+        assert _record(repo_cert, "FarQueue", "enqueue")["inferred"]["fast"] == "1"
+
+    def test_c2_single_access_primitives(self, repo_cert):
+        for op in ("increment", "decrement", "read", "set"):
+            record = _record(repo_cert, "FarCounter", op)
+            assert record["inferred"] == {
+                "fast": "1",
+                "fast_const": 1,
+                "fast_per_item": 0,
+                "retry_exempt": False,
+                "worst": "1",
+                "worst_const": 1,
+                "worst_per_item": 0,
+                "worst_unbounded": False,
+            }
+        assert _record(repo_cert, "FarMutex", "release")["verdict"] == "ok"
+
+    def test_bulk_ops_are_per_item(self, repo_cert):
+        multiget = _record(repo_cert, "HTTree", "multiget")
+        assert multiget["declared"]["per_item"] is True
+        assert multiget["inferred"]["fast"] == "1*n"
+
+    def test_replicated_region_ceilings(self, repo_cert):
+        write = _record(repo_cert, "ReplicatedRegion", "write")
+        assert write["declared"]["ceiling"] == 2
+        assert write["inferred"]["worst"] == "2"
+        assert write["verdict"] == "ok"
+
+    def test_every_registered_structure_is_covered(self, repo_cert):
+        present = {record["structure"] for record in repo_cert["records"]}
+        assert present == {
+            "HTTree",
+            "FarQueue",
+            "RefreshableVector",
+            "FarKVStore",
+            "FarMutex",
+            "FarCounter",
+            "ReplicatedRegion",
+        }
+
+    def test_matches_committed_baseline(self, repo_cert):
+        from repro.analysis.fmcost import load_certificate
+
+        baseline = load_certificate(str(REPO / "analysis" / "cost_baseline.json"))
+        assert diff_certificates(baseline, repo_cert) == []
+
+
+# ---------------------------------------------------------------------------
+# Certificate diffing
+# ---------------------------------------------------------------------------
+
+
+class TestDiff:
+    def test_identical_certificates_do_not_diff(self, repo_cert):
+        assert diff_certificates(repo_cert, repo_cert) == []
+
+    def test_changed_inference_diffs(self, repo_cert):
+        import copy
+
+        mutated = copy.deepcopy(repo_cert)
+        record = _record(mutated, "HTTree", "get")
+        record["inferred"]["fast"] = "3"
+        diff = diff_certificates(repo_cert, mutated)
+        assert len(diff) == 1 and "HTTree.get" in diff[0]
+
+    def test_removed_operation_diffs(self, repo_cert):
+        import copy
+
+        mutated = copy.deepcopy(repo_cert)
+        mutated["records"] = [
+            r for r in mutated["records"] if r["op"] != "get" or r["structure"] != "HTTree"
+        ]
+        diff = diff_certificates(repo_cert, mutated)
+        assert any("HTTree.get" in line for line in diff)
+
+    def test_line_moves_do_not_diff(self, repo_cert):
+        import copy
+
+        mutated = copy.deepcopy(repo_cert)
+        _record(mutated, "HTTree", "get")["line"] += 40
+        assert diff_certificates(repo_cert, mutated) == []
+
+
+# ---------------------------------------------------------------------------
+# Must-fail cases
+# ---------------------------------------------------------------------------
+
+
+class TestMustFail:
+    def test_overbudget_fixture_is_rejected(self):
+        model = analyze_paths([str(FIXTURE)], structures=["OverBudgetRegister"])
+        records = {record["op"]: record for record in model.records()}
+        assert records["double_read"]["verdict"] == "regression"
+        assert records["drain"]["verdict"] == "over_ceiling"
+        assert records["unpriced_touch"]["verdict"] == "missing_budget"
+        failures = certificate_failures(build_certificate(model))
+        assert len(failures) == 3
+
+    def test_degraded_hot_path_is_rejected(self, tmp_path):
+        # Plant one extra far read on HTTree.get's hot path in a copy of
+        # the tree; the certified fast=1 claim must break.
+        degraded = tmp_path / "repro"
+        shutil.copytree(SRC, degraded)
+        target = degraded / "core" / "ht_tree.py"
+        source = target.read_text()
+        anchor = 'chain length <= 1). Returns the value or None."""'
+        assert anchor in source
+        target.write_text(
+            source.replace(
+                anchor, anchor + "\n        client.read_u64(self.root_addr)"
+            )
+        )
+        cert = build_certificate(
+            analyze_paths([str(degraded)], structures=["HTTree"])
+        )
+        record = _record(cert, "HTTree", "get")
+        assert record["verdict"] == "regression"
+        assert record["inferred"]["fast"] == "2"
+        assert any("HTTree.get" in f for f in certificate_failures(cert))

@@ -401,6 +401,176 @@ class TestFM007:
 
 
 # ---------------------------------------------------------------------------
+# FM008 — missing-far-budget
+# ---------------------------------------------------------------------------
+
+
+class TestFM008:
+    def test_flags_public_far_op_without_budget(self):
+        findings = _lint(
+            """
+            class FarCounter:
+                def bump(self, client):
+                    return client.faa(self.addr, 1)
+            """
+        )
+        assert [f.code for f in findings] == ["FM008"]
+        assert "bump" in findings[0].message
+
+    def test_flags_one_level_helper_transitivity(self):
+        assert (
+            _codes(
+                """
+                class FarQueue:
+                    def _push(self, client, value):
+                        client.saai(self.tail, 8, value)
+
+                    def push(self, client, value):
+                        self._push(client, value)
+                """
+            )
+            == ["FM008"]
+        )
+
+    def test_budgeted_method_is_clean(self):
+        assert (
+            _codes(
+                """
+                class FarCounter:
+                    @far_budget(1, ceiling=1)
+                    def bump(self, client):
+                        return client.faa(self.addr, 1)
+                """
+            )
+            == []
+        )
+
+    def test_private_and_unregistered_and_near_are_clean(self):
+        assert (
+            _codes(
+                """
+                class FarCounter:
+                    def _bump(self, client):
+                        return client.faa(self.addr, 1)
+
+                    def label(self):
+                        return self.name
+
+                class Ledger:
+                    def bump(self, client):
+                        return client.faa(self.addr, 1)
+                """
+            )
+            == []
+        )
+
+    def test_classmethod_constructor_is_clean(self):
+        assert (
+            _codes(
+                """
+                class ReplicatedRegion:
+                    @classmethod
+                    def create(cls, client, allocator):
+                        client.write(allocator.alloc(64), b"0" * 64)
+                        return cls()
+                """
+            )
+            == []
+        )
+
+    def test_suppression_escape(self):
+        assert (
+            _codes(
+                """
+                class FarQueue:
+                    # fmlint: disable=FM008 (observe only: debug probe)
+                    def depth_probe(self, client):
+                        return client.read_u64(self.head)
+                """
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
+# FM009 — unused-suppression
+# ---------------------------------------------------------------------------
+
+
+class TestFM009:
+    def test_flags_suppression_that_no_longer_fires(self):
+        findings = _lint(
+            """
+            def tally(rows):
+                total = 0
+                for row in rows:
+                    total += row  # fmlint: disable=FM001
+                return total
+            """
+        )
+        assert [f.code for f in findings] == ["FM009"]
+        assert "FM001" in findings[0].message
+
+    def test_used_suppression_is_not_flagged(self):
+        assert (
+            _codes(
+                """
+                def zero(client, addrs):
+                    for addr in addrs:
+                        client.write_u64(addr, 0)  # fmlint: disable=FM001 (bandwidth-bound)
+                """
+            )
+            == []
+        )
+
+    def test_partially_used_comment_flags_only_dead_code(self):
+        findings = _lint(
+            """
+            def zero(client, addrs):
+                for addr in addrs:
+                    client.write_u64(addr, 0)  # fmlint: disable=FM001,FM004
+            """
+        )
+        assert [f.code for f in findings] == ["FM009"]
+        assert "FM004" in findings[0].message
+        assert "FM001" not in findings[0].message
+
+    def test_unused_file_wide_suppression_is_flagged(self):
+        findings = lint_source("# fmlint: disable-file=FM002\nx = 1\n")
+        assert [f.code for f in findings] == ["FM009"]
+
+    def test_fm009_is_itself_suppressible(self):
+        assert (
+            _codes(
+                """
+                def tally(rows):
+                    total = 0
+                    for row in rows:
+                        # fmlint: disable=FM001,FM009 (kept for a pending revert)
+                        total += row
+                    return total
+                """
+            )
+            == []
+        )
+
+    def test_suppression_examples_in_docstrings_are_ignored(self):
+        assert (
+            _codes(
+                '''
+                def helper():
+                    """Usage::
+
+                        client.write(a, d)  # fmlint: disable=FM001
+                    """
+                    return None
+                '''
+            )
+            == []
+        )
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 
@@ -432,8 +602,10 @@ class TestSuppressions:
         )
 
     def test_wrong_code_does_not_suppress(self):
+        # The mismatched code leaves FM001 live and is itself reported
+        # as an unused suppression (FM009).
         source = self.BAD_LOOP.format(trailer="  # fmlint: disable=FM003")
-        assert _codes(source) == ["FM001"]
+        assert sorted(_codes(source)) == ["FM001", "FM009"]
 
     def test_file_wide_suppression(self):
         source = "# fmlint: disable-file=FM001\n" + textwrap.dedent(

@@ -202,3 +202,83 @@ def test_top_shows_drained_layout_after_migration(capsys):
     assert "drained" in out
     assert "remaps" in out
     assert "migration" in out  # the coordinator's structure scope
+
+
+def test_cost_subcommand_certifies_the_repo(capsys):
+    assert main(["cost"]) == 0
+    out = capsys.readouterr().out
+    assert "HTTree.get" in out and "0 failing" in out
+
+
+def test_cost_check_matches_committed_baseline(capsys):
+    assert main(["cost", "--check"]) == 0
+    assert "matches baseline" in capsys.readouterr().out
+
+
+def test_cost_out_writes_certificate(tmp_path, capsys):
+    cert_path = tmp_path / "cost.json"
+    assert main(["cost", "--out", str(cert_path)]) == 0
+    capsys.readouterr()
+    cert = json.loads(cert_path.read_text())
+    assert cert["format"] == "fmcost-cert-v1"
+    assert any(
+        r["structure"] == "FarQueue" and r["op"] == "enqueue"
+        for r in cert["records"]
+    )
+
+
+def test_cost_check_fails_against_a_tampered_baseline(tmp_path, capsys):
+    cert_path = tmp_path / "cost.json"
+    assert main(["cost", "--out", str(cert_path)]) == 0
+    capsys.readouterr()
+    cert = json.loads(cert_path.read_text())
+    for record in cert["records"]:
+        if record["structure"] == "HTTree" and record["op"] == "get":
+            record["inferred"]["fast"] = "9"
+    tampered = tmp_path / "baseline.json"
+    tampered.write_text(json.dumps(cert))
+    assert main(["cost", "--check", "--baseline", str(tampered)]) == 1
+    out = capsys.readouterr().out
+    assert "HTTree.get" in out and "--update-baseline" in out
+
+
+def test_cost_fails_on_overbudget_fixture(capsys):
+    import os
+
+    fixture = os.path.join(
+        os.path.dirname(__file__), "analysis", "overbudget_fixture.py"
+    )
+    assert (
+        main(["cost", fixture, "--structures", "OverBudgetRegister"]) == 1
+    )
+    out = capsys.readouterr().out
+    assert "regression" in out and "over_ceiling" in out
+
+
+def test_check_subcommand_combines_gates(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    assert main(["check", "--report", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "check: OK" in out
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is True
+    assert report["lint"]["findings"] == []
+    assert report["cost"]["failures"] == []
+    assert report["cost"]["baseline_diffs"] == []
+
+
+def test_check_subcommand_fails_on_lint_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def zero(client, addrs):\n"
+        "    for addr in addrs:\n"
+        "        client.write_u64(addr, 0)\n"
+    )
+    assert main(["check", str(bad)]) == 1
+    assert "check: FAILED" in capsys.readouterr().out
+
+
+def test_check_subcommand_runs_sanitized_examples(capsys):
+    assert main(["check", "--sanitize", "quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "check: OK" in out
