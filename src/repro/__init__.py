@@ -52,6 +52,7 @@ from .fabric import (
     RetryPolicy,
 )
 from .obs import HistogramSet, LatencyHistogram, Tracer
+from .txn import Transaction, TxnAbortError, TxnConflictError, TxnSpace
 
 __version__ = "0.1.0"
 
@@ -85,5 +86,9 @@ __all__ = [
     "HistogramSet",
     "LatencyHistogram",
     "Tracer",
+    "Transaction",
+    "TxnAbortError",
+    "TxnConflictError",
+    "TxnSpace",
     "__version__",
 ]

@@ -34,6 +34,9 @@ FM008     missing-far-budget      a public method on a registered far structure
                                   declaration
 FM009     unused-suppression      a ``# fmlint: disable=...`` comment whose code
                                   no longer triggers on the covered line(s)
+FM010     raw-txn-version-atomic  a raw ``cas``/``saai``/``faa`` aimed at a
+                                  txn-managed version word outside ``repro.txn``
+                                  — the commit protocol owns those words
 ========  ======================  ==============================================
 
 Suppressions
@@ -56,7 +59,9 @@ the metering layer, the verified-read implementation, and the
 virtual-to-physical translation layer. ``repro/recovery/`` and
 ``repro/migration/`` are exempt from FM007 only: repair and live
 migration move bytes between physical homes, so resolving placement is
-their job, not a leak.
+their job, not a leak. ``repro/txn/`` (and the fabric) are exempt from
+FM010 — the transaction layer *is* the owner of the version words the
+rule protects.
 """
 
 from __future__ import annotations
@@ -154,6 +159,7 @@ REGISTERED_FAR_STRUCTURES = frozenset(
         "FarMutex",
         "FarCounter",
         "ReplicatedRegion",
+        "TxnSpace",
     }
 )
 
@@ -249,8 +255,19 @@ RULES: dict[str, Rule] = {
             "the covered line(s); remove it so real exceptions stay "
             "visible",
         ),
+        Rule(
+            "FM010",
+            "raw-txn-version-atomic",
+            "raw cas/saai/faa aimed at a txn-managed version word outside "
+            "repro.txn; ad-hoc atomics on those words break optimistic "
+            "validation — go through TxnSpace (read/write/commit)",
+        ),
     )
 }
+
+#: Atomics FM010 watches on txn version words: the lock CAS, the
+#: indirect add family, and the zero-delta validation FAA.
+_TXN_VERSION_ATOMICS = frozenset({"cas", "saai", "fsaai", "faa"})
 
 #: Translation queries FM007 watches: they return *physical* coordinates,
 #: valid only for the duration of one operation once extents can migrate.
@@ -534,8 +551,62 @@ class _Checker(ast.NodeVisitor):
                     "flow through silently — use read_verified() or the "
                     "region's read_block()",
                 )
+            # FM010: raw atomics on txn-managed version words. The commit
+            # protocol (repro.txn) owns those words — lock CAS, validate
+            # FAA, recovery rollback — and an out-of-band atomic breaks
+            # its optimistic-validation invariant silently.
+            if (
+                name in _TXN_VERSION_ATOMICS
+                and self._is_client_receiver(node.func)
+                and node.args
+                and self._mentions_version_word(node.args[0])
+            ):
+                self._emit(
+                    node,
+                    "FM010",
+                    f"raw client.{name}() on a txn-managed version word "
+                    "outside repro.txn; the commit protocol owns these "
+                    "words — use TxnSpace.read/write/commit (or recover)",
+                )
+            elif (
+                name == "submit"
+                and self._is_client_receiver(node.func)
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value in _TXN_VERSION_ATOMICS
+                and self._mentions_version_word(node.args[1])
+            ):
+                self._emit(
+                    node,
+                    "FM010",
+                    f"submitted {node.args[0].value!r} atomic on a "
+                    "txn-managed version word outside repro.txn; the "
+                    "commit protocol owns these words — use "
+                    "TxnSpace.read/write/commit (or recover)",
+                )
             self._check_nondeterminism_call(node)
         self.generic_visit(node)
+
+    #: Identifiers that name a txn-managed version word. Exact matches
+    #: only: structures with private versioning of their own (e.g.
+    #: RefreshableVector._version_address) must not trip the rule.
+    _TXN_VERSION_NAMES = frozenset(
+        {"version_addr", "version_word", "txn_slot", "txn_slot_addr"}
+    )
+
+    @classmethod
+    def _mentions_version_word(cls, arg: ast.AST) -> bool:
+        """True when the address expression names a txn version word
+        (``space.version_addr(slot)``, ``version_word + off``...)."""
+        for sub in ast.walk(arg):
+            text = None
+            if isinstance(sub, ast.Name):
+                text = sub.id.lower()
+            elif isinstance(sub, ast.Attribute):
+                text = sub.attr.lower()
+            if text in cls._TXN_VERSION_NAMES:
+                return True
+        return False
 
     @staticmethod
     def _mentions_replica(arg: ast.AST) -> bool:
@@ -867,12 +938,18 @@ def _exempt_codes(path: str) -> set[str]:
         # (read() is the documented unverified fallback; read_block() is
         # built from them). It is also the translation layer itself, so
         # FM007's "outside the translation layer" premise does not apply.
-        return {"FM003", "FM006", "FM007"}
+        # FM010's "outside repro.txn" premise likewise cannot apply to
+        # the primitive implementations themselves.
+        return {"FM003", "FM006", "FM007", "FM010"}
     if "repro/recovery/" in normalized or "repro/migration/" in normalized:
         # Repair and migration are the two sanctioned physical-placement
         # consumers: they move bytes *between* physical homes, so they
         # must resolve node identities by design.
         return {"FM007"}
+    if "repro/txn/" in normalized:
+        # The transaction layer owns the version words FM010 protects:
+        # its lock CAS / validate FAA / rollback writes are the protocol.
+        return {"FM010"}
     return set()
 
 

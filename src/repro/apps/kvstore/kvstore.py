@@ -230,6 +230,92 @@ class FarKVStore:
             if pairs:
                 self.ops_counter.add(client, len(pairs))
 
+    # ------------------------------------------------------------------
+    # Transactional operations (repro.txn; DESIGN.md §15)
+    #
+    # These compose the store with a TxnSpace: reads join the
+    # transaction's read set (keyed by slot_for_key(txn_tag, hash)),
+    # writes buffer a blob region immediately (unreachable until the
+    # index pointer flips at commit write-back) and defer the index
+    # upsert to TxnSpace.commit. They bypass the ops_counter/profiler,
+    # which price the non-transactional API; replaced regions are not
+    # retired (the old pointer stays valid until the commit lands).
+    # ------------------------------------------------------------------
+
+    @property
+    def txn_tag(self) -> int:
+        """Stable identity of this store across clients (the index
+        header address, the same word the registry publishes) — keys
+        transactional KV slots and names the store in commit records."""
+        return self.index.header
+
+    @far_budget(0, claim="C4")
+    def txn_get(self, client: Client, space, txn, key: str) -> Optional[bytes]:
+        """Transactional :meth:`get`: buffered puts are returned
+        directly (read-your-writes, no far access); otherwise the
+        regular lookup plus the guarding slot's tracking FAA."""
+        from ...fabric.errors import StaleEpochError
+        from ...txn import TxnAbortError
+
+        key_hash = name_hash(key)
+        buffered = txn.kv_puts.get((self.txn_tag, key_hash))
+        if buffered is not None:
+            return buffered.value
+        try:
+            value = self.get(client, key)
+            # The FAA lands after the lookup reads so it releases them
+            # into the version word; a mismatch with an earlier snapshot
+            # of the slot aborts inside track_slot.
+            space.track_slot(
+                client, txn, space.slot_for_key(self.txn_tag, key_hash)
+            )
+        except StaleEpochError as err:
+            space.abort(client, txn, reason="stale_epoch")
+            raise TxnAbortError("stale_epoch") from err
+        return value
+
+    @far_budget(None, claim="C4")
+    def txn_multiput(self, client: Client, space, txn, items) -> None:
+        """Buffer transactional puts: per pair, one collision-checking
+        :meth:`txn_get` (which also claims the write slot) and one
+        eagerly written, unreachable blob region. The index pointers
+        flip atomically at commit; an abort frees the regions."""
+        pending = []
+        for key, value in items:
+            value = bytes(value)
+            self.txn_get(client, space, txn, key)
+            key_hash = name_hash(key)
+            data = self._pack(key, value)
+            region = self.blobs.allocator.alloc(WORD + max(len(data), 1))
+            pending.append(
+                client.submit(
+                    "write", region, encode_u64(len(data)) + data, signaled=False
+                )
+            )
+            txn.buffer_kv(
+                store=self,
+                key=key,
+                key_hash=key_hash,
+                value=value,
+                region=region,
+                slot=space.slot_for_key(self.txn_tag, key_hash),
+            )
+        for fut in pending:
+            fut.result()
+
+    @far_budget(None, claim="C4")
+    def txn_update(
+        self, client: Client, space, txn, key: str, fn, *, default=None
+    ) -> bytes:
+        """Transactional read-modify-write: ``fn(current) -> new``
+        (``default`` stands in for a missing key). The read joins the
+        read set, so a concurrent committer aborts this transaction
+        instead of losing the update."""
+        current = self.txn_get(client, space, txn, key)
+        value = bytes(fn(default if current is None else current))
+        self.txn_multiput(client, space, txn, [(key, value)])
+        return value
+
     @far_budget(1, claim="C4")
     def contains(self, client: Client, key: str) -> bool:
         """Membership test (one index lookup)."""

@@ -217,6 +217,14 @@ class Cluster:
             self.allocator, self.notifications, length, **kwargs
         )
 
+    def txn_space(self, client, **kwargs):
+        """A transaction space for optimistic multi-key commits
+        (repro.txn; DESIGN.md §15). ``client`` seeds the version-word
+        table and registration array (two far writes)."""
+        from .txn import TxnSpace
+
+        return TxnSpace.create(self.allocator, client, **kwargs)
+
     def far_stack(self, **kwargs):
         """A Treiber far stack (extension; see core.stack)."""
         from .core.stack import FarStack

@@ -72,6 +72,11 @@ class Metrics:
     pipeline_stalls: int = 0
     pipeline_charged_ns: int = 0
     overlap_saved_ns: int = 0
+    txn_commits: int = 0
+    txn_aborts: int = 0
+    txn_conflicts: int = 0
+    txn_rollforwards: int = 0
+    txn_rollbacks: int = 0
     custom: Counter = field(default_factory=Counter)
 
     _INT_FIELDS = (
@@ -102,6 +107,11 @@ class Metrics:
         "pipeline_stalls",
         "pipeline_charged_ns",
         "overlap_saved_ns",
+        "txn_commits",
+        "txn_aborts",
+        "txn_conflicts",
+        "txn_rollforwards",
+        "txn_rollbacks",
     )
 
     @classmethod

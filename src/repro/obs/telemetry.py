@@ -81,6 +81,11 @@ CLIENT_COUNTER_FIELDS = (
     "pipeline_stalls",
     "pipeline_charged_ns",
     "overlap_saved_ns",
+    "txn_commits",
+    "txn_aborts",
+    "txn_conflicts",
+    "txn_rollforwards",
+    "txn_rollbacks",
 )
 
 assert set(CLIENT_COUNTER_FIELDS) == set(Metrics.counter_names()), (

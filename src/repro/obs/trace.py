@@ -61,6 +61,10 @@ EXTENT_MIGRATE = "extent_migrate"
 REMAP = "remap"
 DRAIN = "drain"
 SLO_ALERT = "slo_alert"
+TXN_BEGIN = "txn_begin"
+TXN_VALIDATE = "txn_validate"
+TXN_COMMIT = "txn_commit"
+TXN_ABORT = "txn_abort"
 
 EVENT_KINDS = (
     FAR_ACCESS,
@@ -79,6 +83,10 @@ EVENT_KINDS = (
     REMAP,
     DRAIN,
     SLO_ALERT,
+    TXN_BEGIN,
+    TXN_VALIDATE,
+    TXN_COMMIT,
+    TXN_ABORT,
 )
 
 # Installed by :func:`set_default_sink`: every Tracer constructed while a
@@ -602,6 +610,51 @@ class Tracer:
             {"node": node, "extents_moved": extents_moved, "bytes_copied": bytes_copied},
         )
 
+    def on_txn_begin(self, client: "Client", *, txn_id: int, attempt: int) -> None:
+        """An optimistic transaction opened (repro.txn; DESIGN.md §15)."""
+        self._emit(client, TXN_BEGIN, {"txn_id": txn_id, "attempt": attempt})
+
+    def on_txn_validate(
+        self,
+        client: "Client",
+        *,
+        txn_id: int,
+        read_slots: int,
+        write_slots: int,
+        ok: bool,
+    ) -> None:
+        """Commit-time read-set validation finished (one batched window)."""
+        self._emit(
+            client,
+            TXN_VALIDATE,
+            {
+                "txn_id": txn_id,
+                "read_slots": read_slots,
+                "write_slots": write_slots,
+                "ok": ok,
+            },
+        )
+
+    def on_txn_commit(
+        self, client: "Client", *, txn_id: int, cells: int, kv_pairs: int, runs: int
+    ) -> None:
+        """A transaction committed (write-back done, locks advanced)."""
+        self._emit(
+            client,
+            TXN_COMMIT,
+            {"txn_id": txn_id, "cells": cells, "kv_pairs": kv_pairs, "runs": runs},
+        )
+
+    def on_txn_abort(
+        self, client: "Client", *, txn_id: int, reason: str, attempt: int
+    ) -> None:
+        """A transaction aborted (conflict, fault, fence, or user)."""
+        self._emit(
+            client,
+            TXN_ABORT,
+            {"txn_id": txn_id, "reason": reason, "attempt": attempt},
+        )
+
     def on_notification(
         self,
         client: "Client",
@@ -734,6 +787,11 @@ class Tracer:
                 f"repair: region {region} node{dead}->node{spare} "
                 f"{done}/{total} blocks ({nbytes} bytes)"
             )
+        # Transaction digest: commit/abort balance across the fleet.
+        txn_commits = counts.get(TXN_COMMIT, 0)
+        txn_aborts = counts.get(TXN_ABORT, 0)
+        if txn_commits or txn_aborts:
+            lines.append(f"txn: commits={txn_commits} aborts={txn_aborts}")
         # Migration digest: committed remaps + copy volume, then one line
         # per drained node.
         remaps = counts.get(REMAP, 0)

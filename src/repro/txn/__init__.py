@@ -1,0 +1,17 @@
+"""Optimistic one-sided transactions over far memory (DESIGN.md §15)."""
+
+from .txn import (
+    Transaction,
+    TxnAbortError,
+    TxnConflictError,
+    TxnRecoveryReport,
+    TxnSpace,
+)
+
+__all__ = [
+    "Transaction",
+    "TxnAbortError",
+    "TxnConflictError",
+    "TxnRecoveryReport",
+    "TxnSpace",
+]

@@ -382,6 +382,7 @@ class TestRepoCertificate:
             "FarMutex",
             "FarCounter",
             "ReplicatedRegion",
+            "TxnSpace",
         }
 
     def test_matches_committed_baseline(self, repo_cert):

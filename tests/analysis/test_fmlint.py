@@ -615,6 +615,84 @@ class TestSuppressions:
 
 
 # ---------------------------------------------------------------------------
+# FM010 — raw-txn-version-atomic
+# ---------------------------------------------------------------------------
+
+
+class TestFM010:
+    def test_flags_raw_cas_on_version_word(self):
+        findings = _lint(
+            """
+            def sneak(client, space, slot):
+                client.cas(space.version_addr(slot), 0, 99)
+            """
+        )
+        assert [f.code for f in findings] == ["FM010"]
+        assert "TxnSpace" in findings[0].message
+
+    def test_flags_saai_and_faa_variants(self):
+        assert _codes(
+            """
+            def bump(client, version_word):
+                client.faa(version_word, 2)
+                client.saai(version_word, 8, 1)
+            """
+        ) == ["FM010", "FM010"]
+
+    def test_flags_submitted_atomic(self):
+        assert _codes(
+            """
+            def sneak(client, space, slot):
+                fut = client.submit("cas", space.version_addr(slot), 0, 99)
+                fut.result()
+            """
+        ) == ["FM010"]
+
+    def test_private_versioning_is_clean(self):
+        # Structures with version words of their own (RefreshableVector's
+        # _version_address) must not trip the rule: exact-name match only.
+        assert (
+            _codes(
+                """
+                def bump(self, client, slot):
+                    client.faa(self._version_address(slot), 1)
+                """
+            )
+            == []
+        )
+
+    def test_non_client_receiver_is_clean(self):
+        assert (
+            _codes(
+                """
+                def local(table, version_word):
+                    table.cas(version_word, 0, 1)
+                """
+            )
+            == []
+        )
+
+    def test_suppression_escape(self):
+        assert (
+            _codes(
+                """
+                def repair_tool(client, space, slot):
+                    # fmlint: disable=FM010 (offline fsck, no live clients)
+                    client.cas(space.version_addr(slot), 3, 2)
+                """
+            )
+            == []
+        )
+
+    def test_txn_and_fabric_layers_are_exempt(self):
+        from repro.analysis.fmlint import _exempt_codes
+
+        assert _exempt_codes("src/repro/txn/txn.py") == {"FM010"}
+        assert "FM010" in _exempt_codes("src/repro/fabric/client.py")
+        assert "FM010" not in _exempt_codes("src/repro/core/vector.py")
+
+
+# ---------------------------------------------------------------------------
 # Repo gate + rule table
 # ---------------------------------------------------------------------------
 

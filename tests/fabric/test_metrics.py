@@ -108,3 +108,18 @@ class TestCounterNames:
         m = Metrics()
         for name in Metrics.counter_names():
             assert getattr(m, name) == 0
+
+    def test_txn_counters_are_registered(self):
+        """PR 10: the transaction layer's five counters flow through
+        counter_names() and the telemetry plane's field list."""
+        from repro.obs.telemetry import CLIENT_COUNTER_FIELDS
+
+        txn_names = {
+            "txn_commits",
+            "txn_aborts",
+            "txn_conflicts",
+            "txn_rollforwards",
+            "txn_rollbacks",
+        }
+        assert txn_names <= set(Metrics.counter_names())
+        assert txn_names <= set(CLIENT_COUNTER_FIELDS)

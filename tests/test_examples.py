@@ -19,6 +19,7 @@ FAST = [
     "lost_update.py",
     "node_repair.py",
     "elastic_cluster.py",
+    "bank_transfer.py",
 ]
 SLOW = [
     "monitoring.py",

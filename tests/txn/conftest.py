@@ -1,0 +1,38 @@
+"""Shared fixtures for the transaction tests: a small-extent cluster
+(so cells land in distinct extents cheaply) and helpers that seed
+framed cells with distinct guarding slots."""
+
+import pytest
+
+from repro import Cluster
+
+EXTENT = 64 << 10
+PAYLOAD = 8
+
+
+def txn_cluster(**kwargs):
+    return Cluster(
+        node_count=2, node_size=8 << 20, extent_size=EXTENT, **kwargs
+    )
+
+
+@pytest.fixture
+def cluster():
+    return txn_cluster()
+
+
+def seed_cells(cluster, space, client, count, *, value=None):
+    """Allocate ``count`` framed cells, one per extent, with pairwise
+    distinct version-word slots, seeded with 8-byte payloads."""
+    cells = []
+    used = set()
+    while len(cells) < count:
+        base = cluster.allocator.alloc(EXTENT)
+        slot = space.slot_for_addr(base)
+        if slot in used:
+            continue
+        used.add(slot)
+        payload = value if value is not None else bytes([len(cells) + 1]) * PAYLOAD
+        space.init_cell(client, base, payload)
+        cells.append(base)
+    return cells
